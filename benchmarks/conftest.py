@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark runs the corresponding experiment once (``rounds=1``) through
+pytest-benchmark so wall-clock cost is recorded, prints the same rows/series
+the paper's figure reports, and archives the formatted table under
+``benchmarks/output/`` so results can be diffed between runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIRECTORY = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Return a callable that prints and archives a formatted report."""
+    OUTPUT_DIRECTORY.mkdir(exist_ok=True)
+
+    def _write(name: str, table: str) -> None:
+        print()
+        print(table)
+        (OUTPUT_DIRECTORY / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+    return _write
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+"""Backend interface shared by the annealing simulator physics surrogates.
+
+A backend executes one anneal *schedule* on a (normalised) Ising problem for a
+batch of independent reads and returns the final spin configurations.  Two
+backends ship with the library:
+
+* :class:`repro.annealing.svmc.SpinVectorMonteCarloBackend` — models each
+  qubit as a classical O(2) spin angle driven by the transverse-field and
+  problem energy scales A(s), B(s);
+* :class:`repro.annealing.sa_backend.ScheduleDrivenAnnealingBackend` — models
+  the anneal as Metropolis dynamics whose effective temperature tracks the
+  schedule (quantum fluctuations mapped onto thermal ones).
+
+Both capture the mechanism the paper's experiments rely on: at s = 1 the state
+is frozen, at s = 0 it is randomised, and at intermediate s the device
+performs a local stochastic search around its current state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.annealing.device import AnnealingFunctions
+from repro.annealing.schedule import AnnealSchedule
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AnnealingBackend", "broadcast_initial_spins"]
+
+
+def broadcast_initial_spins(
+    initial_spins: Optional[np.ndarray], num_reads: int, num_spins: int
+) -> Optional[np.ndarray]:
+    """Normalise an initial-state specification to shape (num_reads, num_spins).
+
+    Accepts ``None`` (no initial state), a single spin vector shared by every
+    read, or a per-read matrix; validates that values are +/-1.
+    """
+    if initial_spins is None:
+        return None
+    spins = np.asarray(initial_spins, dtype=np.int8)
+    if spins.ndim == 1:
+        if spins.size != num_spins:
+            raise ConfigurationError(
+                f"initial state has {spins.size} spins, expected {num_spins}"
+            )
+        spins = np.tile(spins, (num_reads, 1))
+    elif spins.ndim == 2:
+        if spins.shape != (num_reads, num_spins):
+            raise ConfigurationError(
+                f"initial state has shape {spins.shape}, expected {(num_reads, num_spins)}"
+            )
+    else:
+        raise ConfigurationError("initial state must be a vector or a matrix")
+    if spins.size and not np.all(np.isin(spins, (-1, 1))):
+        raise ConfigurationError("initial spins must be -1 or +1")
+    return spins.copy()
+
+
+class AnnealingBackend(abc.ABC):
+    """Executes anneal schedules on normalised Ising problems."""
+
+    #: Backend label recorded in sample-set metadata.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        fields: np.ndarray,
+        couplings: np.ndarray,
+        schedule: AnnealSchedule,
+        num_reads: int,
+        annealing_functions: AnnealingFunctions,
+        relative_temperature: float,
+        initial_spins: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Run ``num_reads`` independent anneals and return final spins.
+
+        Parameters
+        ----------
+        fields, couplings:
+            Normalised Ising coefficients (couplings strictly upper
+            triangular).
+        schedule:
+            The anneal schedule to follow.
+        num_reads:
+            Number of independent anneals.
+        annealing_functions:
+            The device's A(s)/B(s) energy scales.
+        relative_temperature:
+            Operating temperature normalised by B(1).
+        initial_spins:
+            Required when the schedule starts at s = 1 (reverse annealing);
+            either one vector shared by all reads or a per-read matrix.
+        rng:
+            Random generator (required to be a Generator, not a seed).
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape (num_reads, num_spins) with entries +/-1.
+        """

@@ -1,0 +1,270 @@
+"""Minor embedding of dense problems onto the Chimera hardware graph.
+
+The MIMO detection QUBOs the paper studies are fully dense, while Chimera
+qubits have degree at most 6 — so each *logical* variable must be represented
+by a *chain* of physical qubits held together with a strong ferromagnetic
+coupling.  This module implements:
+
+* the standard triangular clique embedding of K_n onto a Chimera lattice
+  (chains of length ``m + 1`` on a ``m x m`` lattice with ``n <= 4 m``);
+* :func:`embed_ising`, which spreads logical fields over chain members,
+  places logical couplings on available physical couplers, and adds the
+  chain-holding couplings;
+* :func:`unembed_sampleset`, which maps physical samples back to logical
+  variables with majority-vote chain-break resolution and re-evaluates the
+  logical energies.
+
+The simulator front-end treats embedding as optional: solving the logical
+problem directly is faster and is the default, but embedded solving is exposed
+so that chain-break behaviour — a genuine effect on the 2000Q — can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.annealing.sampleset import SampleRecord, SampleSet
+from repro.annealing.topology import ChimeraCoordinates, chimera_graph
+from repro.exceptions import EmbeddingError
+from repro.qubo.ising import IsingModel
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = [
+    "Embedding",
+    "find_clique_embedding",
+    "embed_ising",
+    "unembed_sampleset",
+    "resolve_chain_breaks",
+]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A minor embedding: logical variable index -> chain of physical qubits."""
+
+    chains: Tuple[Tuple[int, ...], ...]
+    target_graph: nx.Graph
+
+    @property
+    def num_logical_variables(self) -> int:
+        """Number of logical variables the embedding covers."""
+        return len(self.chains)
+
+    @property
+    def num_physical_qubits(self) -> int:
+        """Total number of physical qubits used across all chains."""
+        return sum(len(chain) for chain in self.chains)
+
+    @property
+    def max_chain_length(self) -> int:
+        """Length of the longest chain."""
+        return max((len(chain) for chain in self.chains), default=0)
+
+    def chain_for(self, logical_index: int) -> Tuple[int, ...]:
+        """Physical qubits representing one logical variable."""
+        return self.chains[logical_index]
+
+    def validate(self) -> None:
+        """Check chain disjointness, connectivity and physical-qubit existence.
+
+        Raises :class:`EmbeddingError` when any requirement is violated.
+        """
+        seen: set = set()
+        for logical_index, chain in enumerate(self.chains):
+            if not chain:
+                raise EmbeddingError(f"chain for logical variable {logical_index} is empty")
+            for qubit in chain:
+                if qubit not in self.target_graph:
+                    raise EmbeddingError(
+                        f"chain for variable {logical_index} uses qubit {qubit} "
+                        "which is not in the target graph"
+                    )
+                if qubit in seen:
+                    raise EmbeddingError(
+                        f"qubit {qubit} appears in more than one chain"
+                    )
+                seen.add(qubit)
+            subgraph = self.target_graph.subgraph(chain)
+            if len(chain) > 1 and not nx.is_connected(subgraph):
+                raise EmbeddingError(
+                    f"chain for logical variable {logical_index} is not connected"
+                )
+
+    def coupler_between(self, logical_i: int, logical_j: int) -> List[Tuple[int, int]]:
+        """Physical couplers available between two logical variables' chains."""
+        chain_i = set(self.chains[logical_i])
+        chain_j = set(self.chains[logical_j])
+        couplers = []
+        for qubit in chain_i:
+            for neighbour in self.target_graph.neighbors(qubit):
+                if neighbour in chain_j:
+                    couplers.append((qubit, neighbour))
+        return couplers
+
+
+def find_clique_embedding(
+    num_variables: int,
+    lattice_size: Optional[int] = None,
+    shore: int = 4,
+) -> Embedding:
+    """Triangular clique embedding of K_{num_variables} onto a Chimera lattice.
+
+    Parameters
+    ----------
+    num_variables:
+        Size of the logical clique.
+    lattice_size:
+        Chimera lattice dimension ``m``; defaults to the smallest lattice that
+        fits (``ceil(num_variables / shore)``).  The D-Wave 2000Q corresponds
+        to ``lattice_size=16, shore=4``, which fits cliques up to 64 variables
+        (matching the problem sizes QuAMax reports).
+    shore:
+        Qubits per cell shore (4 on production hardware).
+    """
+    if num_variables <= 0:
+        raise EmbeddingError(f"num_variables must be positive, got {num_variables}")
+    minimum_lattice = int(np.ceil(num_variables / shore))
+    size = lattice_size if lattice_size is not None else minimum_lattice
+    if size < minimum_lattice:
+        raise EmbeddingError(
+            f"a {size}x{size} Chimera lattice with shore {shore} fits at most "
+            f"{size * shore} clique variables; {num_variables} requested"
+        )
+
+    graph = chimera_graph(size, size, shore)
+    coords = ChimeraCoordinates(rows=size, columns=size, shore=shore)
+
+    chains: List[Tuple[int, ...]] = []
+    for logical in range(num_variables):
+        diagonal_cell, offset = divmod(logical, shore)
+        vertical_arm = [
+            coords.linear_index(row, diagonal_cell, 0, offset)
+            for row in range(0, diagonal_cell + 1)
+        ]
+        horizontal_arm = [
+            coords.linear_index(diagonal_cell, column, 1, offset)
+            for column in range(diagonal_cell, size)
+        ]
+        chains.append(tuple(vertical_arm + horizontal_arm))
+
+    embedding = Embedding(chains=tuple(chains), target_graph=graph)
+    embedding.validate()
+    return embedding
+
+
+def embed_ising(
+    ising: IsingModel,
+    embedding: Embedding,
+    chain_strength: Optional[float] = None,
+) -> Tuple[Dict[int, float], Dict[Tuple[int, int], float], float]:
+    """Map a logical Ising model onto the embedding's physical qubits.
+
+    Returns ``(physical_fields, physical_couplings, chain_strength)``.  Logical
+    fields are split evenly over chain members; each logical coupling is split
+    evenly over the available physical couplers between the two chains; every
+    intra-chain coupler receives the ferromagnetic chain-holding coupling
+    ``-chain_strength``.
+
+    ``chain_strength`` defaults to 1.5x the largest absolute logical
+    coefficient, the conventional rule of thumb.
+    """
+    if ising.num_spins != embedding.num_logical_variables:
+        raise EmbeddingError(
+            f"model has {ising.num_spins} spins but embedding covers "
+            f"{embedding.num_logical_variables} logical variables"
+        )
+    strength = chain_strength
+    if strength is None:
+        strength = 1.5 * max(ising.max_abs_coefficient(), 1e-12)
+    if strength <= 0:
+        raise EmbeddingError(f"chain_strength must be positive, got {strength}")
+
+    fields: Dict[int, float] = {}
+    couplings: Dict[Tuple[int, int], float] = {}
+
+    for logical, chain in enumerate(embedding.chains):
+        share = ising.fields[logical] / len(chain)
+        for qubit in chain:
+            fields[qubit] = fields.get(qubit, 0.0) + share
+        # Ferromagnetic chain-holding couplings along a spanning tree of the chain.
+        subgraph = embedding.target_graph.subgraph(chain)
+        tree_edges = nx.minimum_spanning_edges(subgraph, data=False) if len(chain) > 1 else []
+        for qubit_a, qubit_b in tree_edges:
+            key = (qubit_a, qubit_b) if qubit_a < qubit_b else (qubit_b, qubit_a)
+            couplings[key] = couplings.get(key, 0.0) - strength
+
+    for i in range(ising.num_spins):
+        for j in range(i + 1, ising.num_spins):
+            value = ising.couplings[i, j]
+            if value == 0.0:
+                continue
+            available = embedding.coupler_between(i, j)
+            if not available:
+                raise EmbeddingError(
+                    f"no physical coupler available between logical variables {i} and {j}"
+                )
+            share = value / len(available)
+            for qubit_a, qubit_b in available:
+                key = (qubit_a, qubit_b) if qubit_a < qubit_b else (qubit_b, qubit_a)
+                couplings[key] = couplings.get(key, 0.0) + share
+
+    return fields, couplings, float(strength)
+
+
+def resolve_chain_breaks(
+    physical_spins: Dict[int, int], chain: Sequence[int], rng: RandomState = None
+) -> Tuple[int, bool]:
+    """Majority-vote a chain's physical spins into one logical spin.
+
+    Returns ``(logical_spin, was_broken)``; exact ties are broken uniformly at
+    random, matching the default Ocean behaviour.
+    """
+    values = [physical_spins[qubit] for qubit in chain]
+    total = sum(values)
+    was_broken = len(set(values)) > 1
+    if total > 0:
+        return 1, was_broken
+    if total < 0:
+        return -1, was_broken
+    generator = ensure_rng(rng)
+    return (1 if generator.random() < 0.5 else -1), was_broken
+
+
+def unembed_sampleset(
+    physical_samples: Sequence[Dict[int, int]],
+    embedding: Embedding,
+    logical_ising: IsingModel,
+    rng: RandomState = None,
+) -> SampleSet:
+    """Map physical spin samples back to logical variables.
+
+    Each physical sample is a mapping ``qubit -> spin (+/-1)``.  Chains are
+    collapsed by majority vote, the fraction of broken chains is recorded per
+    sample, and logical energies are re-evaluated on the *logical* model (so
+    chain-holding terms never leak into reported energies).
+    """
+    generator = ensure_rng(rng)
+    records = []
+    for sample in physical_samples:
+        spins = np.empty(embedding.num_logical_variables, dtype=np.int8)
+        broken = 0
+        for logical, chain in enumerate(embedding.chains):
+            spin, was_broken = resolve_chain_breaks(sample, chain, generator)
+            spins[logical] = spin
+            broken += int(was_broken)
+        bits = ((spins + 1) // 2).astype(np.int8)
+        energy = logical_ising.energy(spins)
+        fraction = broken / embedding.num_logical_variables
+        records.append(
+            SampleRecord(
+                assignment=bits,
+                energy=float(energy),
+                num_occurrences=1,
+                chain_break_fraction=fraction,
+            )
+        )
+    return SampleSet(records, metadata={"embedded": True})

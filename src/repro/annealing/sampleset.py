@@ -1,0 +1,231 @@
+"""Sample containers in the style of the D-Wave Ocean SDK.
+
+A sampler call produces many anneal *reads*; each read yields one bitstring
+and its energy.  :class:`SampleSet` aggregates identical bitstrings, keeps the
+collection sorted by energy, and provides the aggregate statistics the paper's
+metrics are computed from (ground-state hit counts, energy distributions,
+sample weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["SampleRecord", "SampleSet"]
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One distinct bitstring observed by a sampler.
+
+    Attributes
+    ----------
+    assignment:
+        The 0/1 assignment.
+    energy:
+        Its energy under the problem the sampler was given.
+    num_occurrences:
+        How many reads returned exactly this assignment.
+    chain_break_fraction:
+        Fraction of embedded chains that were broken in the raw hardware
+        sample (0.0 when the problem was not embedded).
+    """
+
+    assignment: np.ndarray
+    energy: float
+    num_occurrences: int = 1
+    chain_break_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        assignment = np.asarray(self.assignment, dtype=np.int8).ravel()
+        object.__setattr__(self, "assignment", assignment)
+        if self.num_occurrences <= 0:
+            raise ValueError(
+                f"num_occurrences must be positive, got {self.num_occurrences}"
+            )
+        if not 0.0 <= self.chain_break_fraction <= 1.0:
+            raise ValueError(
+                "chain_break_fraction must lie in [0, 1], "
+                f"got {self.chain_break_fraction}"
+            )
+
+    @property
+    def key(self) -> Tuple[int, ...]:
+        """Hashable form of the assignment, used for aggregation."""
+        return tuple(int(bit) for bit in self.assignment)
+
+
+class SampleSet:
+    """An energy-sorted, aggregated collection of sampler reads.
+
+    Parameters
+    ----------
+    records:
+        Sample records; duplicates (same bitstring) are merged and their
+        occurrence counts summed.
+    metadata:
+        Sampler-provided context (schedule, timing, backend name, ...).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[SampleRecord],
+        metadata: Optional[Dict] = None,
+    ) -> None:
+        merged: Dict[Tuple[int, ...], SampleRecord] = {}
+        for record in records:
+            key = record.key
+            if key in merged:
+                existing = merged[key]
+                total = existing.num_occurrences + record.num_occurrences
+                # Occurrence-weighted chain-break fraction keeps the aggregate meaningful.
+                weighted_breaks = (
+                    existing.chain_break_fraction * existing.num_occurrences
+                    + record.chain_break_fraction * record.num_occurrences
+                ) / total
+                merged[key] = SampleRecord(
+                    assignment=existing.assignment,
+                    energy=existing.energy,
+                    num_occurrences=total,
+                    chain_break_fraction=weighted_breaks,
+                )
+            else:
+                merged[key] = record
+
+        self._records: List[SampleRecord] = sorted(
+            merged.values(), key=lambda item: (item.energy, item.key)
+        )
+        self.metadata: Dict = dict(metadata) if metadata else {}
+
+        sizes = {record.assignment.size for record in self._records}
+        if len(sizes) > 1:
+            raise DimensionError(
+                f"all samples must have the same length, got lengths {sorted(sizes)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(
+        cls,
+        assignments: np.ndarray,
+        energies: Sequence[float],
+        metadata: Optional[Dict] = None,
+    ) -> "SampleSet":
+        """Build a sample set from parallel arrays of assignments and energies."""
+        assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int8))
+        energies = np.asarray(energies, dtype=float).ravel()
+        if assignments.shape[0] != energies.size:
+            raise DimensionError(
+                f"{assignments.shape[0]} assignments but {energies.size} energies"
+            )
+        records = [
+            SampleRecord(assignment=assignment, energy=float(energy))
+            for assignment, energy in zip(assignments, energies)
+        ]
+        return cls(records, metadata)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SampleRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> SampleRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[SampleRecord]:
+        """All distinct records, lowest energy first."""
+        return list(self._records)
+
+    @property
+    def num_reads(self) -> int:
+        """Total number of reads represented (sum of occurrence counts)."""
+        return int(sum(record.num_occurrences for record in self._records))
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables per sample (0 for an empty set)."""
+        if not self._records:
+            return 0
+        return int(self._records[0].assignment.size)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def first(self) -> SampleRecord:
+        """The lowest-energy record."""
+        if not self._records:
+            raise IndexError("sample set is empty")
+        return self._records[0]
+
+    def lowest_energy(self) -> float:
+        """Lowest energy observed."""
+        return self.first.energy
+
+    def energies(self, expanded: bool = False) -> np.ndarray:
+        """Energies of the records.
+
+        With ``expanded=True`` each energy is repeated by its occurrence count
+        so the result has one entry per read (what the paper's ΔE%
+        distributions are computed over).
+        """
+        if expanded:
+            return np.concatenate(
+                [np.full(record.num_occurrences, record.energy) for record in self._records]
+            ) if self._records else np.empty(0)
+        return np.array([record.energy for record in self._records])
+
+    def occurrences(self) -> np.ndarray:
+        """Occurrence counts aligned with :meth:`energies` (non-expanded)."""
+        return np.array([record.num_occurrences for record in self._records], dtype=int)
+
+    def success_probability(self, ground_energy: float, tolerance: float = 1e-6) -> float:
+        """Fraction of reads that reached the ground-state energy."""
+        if self.num_reads == 0:
+            return 0.0
+        hits = sum(
+            record.num_occurrences
+            for record in self._records
+            if record.energy <= ground_energy + tolerance
+        )
+        return hits / self.num_reads
+
+    def expectation_energy(self) -> float:
+        """Occurrence-weighted mean energy of the reads."""
+        if self.num_reads == 0:
+            raise ValueError("cannot compute the expectation of an empty sample set")
+        weights = self.occurrences()
+        return float(np.average(self.energies(), weights=weights))
+
+    def truncate(self, max_records: int) -> "SampleSet":
+        """Keep only the ``max_records`` lowest-energy records."""
+        return SampleSet(self._records[:max_records], self.metadata)
+
+    def merge(self, other: "SampleSet") -> "SampleSet":
+        """Combine two sample sets (metadata of ``self`` wins on conflicts)."""
+        metadata = dict(other.metadata)
+        metadata.update(self.metadata)
+        return SampleSet(self._records + other._records, metadata)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._records:
+            return "SampleSet(empty)"
+        return (
+            f"SampleSet(num_reads={self.num_reads}, distinct={len(self)}, "
+            f"best_energy={self.lowest_energy():.6g})"
+        )

@@ -1,0 +1,125 @@
+"""The Chimera hardware topology of the D-Wave 2000Q.
+
+The 2000Q used by the paper arranges qubits in a ``16 x 16`` grid of *unit
+cells*; each cell is a complete bipartite graph K4,4 (8 qubits), horizontally
+adjacent cells connect corresponding "horizontal" qubits, vertically adjacent
+cells connect corresponding "vertical" qubits.  Dense QUBOs such as the MIMO
+detection problems must be *minor-embedded* onto this sparse graph (see
+:mod:`repro.annealing.embedding`).
+
+The generator below follows the standard Chimera indexing: a qubit is
+identified by ``(row, column, side, offset)`` with ``side`` 0 for the vertical
+shore and 1 for the horizontal shore, and linearised as
+
+    index = ((row * columns) + column) * 2 * shore + side * shore + offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ChimeraCoordinates", "chimera_graph"]
+
+
+@dataclass(frozen=True)
+class ChimeraCoordinates:
+    """Coordinate <-> linear index conversions for a Chimera lattice.
+
+    Parameters
+    ----------
+    rows, columns:
+        Grid dimensions in unit cells.
+    shore:
+        Qubits per shore of each cell (4 for all production Chimera chips).
+    """
+
+    rows: int
+    columns: int
+    shore: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0 or self.shore <= 0:
+            raise ConfigurationError(
+                "rows, columns and shore must all be positive, got "
+                f"{self.rows} x {self.columns} shore {self.shore}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits in the lattice."""
+        return self.rows * self.columns * 2 * self.shore
+
+    def linear_index(self, row: int, column: int, side: int, offset: int) -> int:
+        """Linearise a (row, column, side, offset) coordinate."""
+        self._check(row, column, side, offset)
+        cell = row * self.columns + column
+        return cell * 2 * self.shore + side * self.shore + offset
+
+    def coordinates(self, index: int) -> Tuple[int, int, int, int]:
+        """Invert :meth:`linear_index`."""
+        if not 0 <= index < self.num_qubits:
+            raise ConfigurationError(f"qubit index {index} out of range")
+        cell, within = divmod(index, 2 * self.shore)
+        side, offset = divmod(within, self.shore)
+        row, column = divmod(cell, self.columns)
+        return row, column, side, offset
+
+    def _check(self, row: int, column: int, side: int, offset: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ConfigurationError(f"row {row} out of range [0, {self.rows})")
+        if not 0 <= column < self.columns:
+            raise ConfigurationError(f"column {column} out of range [0, {self.columns})")
+        if side not in (0, 1):
+            raise ConfigurationError(f"side must be 0 or 1, got {side}")
+        if not 0 <= offset < self.shore:
+            raise ConfigurationError(f"offset {offset} out of range [0, {self.shore})")
+
+    def iter_cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (row, column) unit-cell coordinates."""
+        for row in range(self.rows):
+            for column in range(self.columns):
+                yield row, column
+
+
+def chimera_graph(rows: int, columns: int = None, shore: int = 4) -> nx.Graph:
+    """Build the Chimera graph C_{rows, columns, shore} as a networkx graph.
+
+    The D-Wave 2000Q corresponds to ``chimera_graph(16, 16, 4)`` (2048 qubits);
+    tests typically use much smaller lattices.
+    """
+    columns = columns if columns is not None else rows
+    coords = ChimeraCoordinates(rows=rows, columns=columns, shore=shore)
+    graph = nx.Graph(name=f"chimera({rows},{columns},{shore})")
+    graph.add_nodes_from(range(coords.num_qubits))
+
+    for row, column in coords.iter_cells():
+        # Intra-cell complete bipartite couplers.
+        for vertical_offset in range(shore):
+            vertical = coords.linear_index(row, column, 0, vertical_offset)
+            for horizontal_offset in range(shore):
+                horizontal = coords.linear_index(row, column, 1, horizontal_offset)
+                graph.add_edge(vertical, horizontal)
+        # Vertical shore couples to the cell below (same column offset).
+        if row + 1 < rows:
+            for offset in range(shore):
+                graph.add_edge(
+                    coords.linear_index(row, column, 0, offset),
+                    coords.linear_index(row + 1, column, 0, offset),
+                )
+        # Horizontal shore couples to the cell to the right.
+        if column + 1 < columns:
+            for offset in range(shore):
+                graph.add_edge(
+                    coords.linear_index(row, column, 1, offset),
+                    coords.linear_index(row, column + 1, 1, offset),
+                )
+
+    graph.graph["rows"] = rows
+    graph.graph["columns"] = columns
+    graph.graph["shore"] = shore
+    return graph

@@ -1,0 +1,129 @@
+"""Tabu search over QUBO assignments.
+
+Tabu search is the classical component of D-Wave's commercial hybrid solver
+service the paper cites in its related-work discussion, and a natural
+candidate for the "application-specific classical solvers" of Section 5.  The
+implementation is a standard single-flip best-improvement tabu search with an
+aspiration criterion and optional random restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.classical.base import QuboSolution, QuboSolver
+from repro.exceptions import ConfigurationError
+from repro.qubo.model import QUBOModel
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["TabuSearchSolver"]
+
+
+class TabuSearchSolver(QuboSolver):
+    """Best-improvement tabu search with aspiration.
+
+    Parameters
+    ----------
+    max_iterations:
+        Total number of single-flip moves per restart.
+    tenure:
+        Number of iterations a flipped variable stays tabu.  ``None`` selects
+        ``max(5, N // 10)`` per restart.
+    num_restarts:
+        Independent random restarts; the best solution across restarts wins.
+    initial_state:
+        Optional starting assignment for the first restart.
+    time_per_iteration_us:
+        Modelled compute time per move for pipeline accounting.
+    """
+
+    name = "tabu-search"
+
+    def __init__(
+        self,
+        max_iterations: int = 500,
+        tenure: Optional[int] = None,
+        num_restarts: int = 1,
+        initial_state: Optional[Sequence[int]] = None,
+        time_per_iteration_us: float = 0.05,
+    ) -> None:
+        if max_iterations <= 0:
+            raise ConfigurationError(f"max_iterations must be positive, got {max_iterations}")
+        if tenure is not None and tenure < 0:
+            raise ConfigurationError(f"tenure must be non-negative, got {tenure}")
+        if num_restarts <= 0:
+            raise ConfigurationError(f"num_restarts must be positive, got {num_restarts}")
+        self.max_iterations = int(max_iterations)
+        self.tenure = tenure
+        self.num_restarts = int(num_restarts)
+        self.initial_state = (
+            np.asarray(initial_state, dtype=np.int8).copy() if initial_state is not None else None
+        )
+        self.time_per_iteration_us = float(time_per_iteration_us)
+
+    def solve(self, qubo: QUBOModel, rng: RandomState = None) -> QuboSolution:
+        """Run tabu search (with restarts) and return the best solution found."""
+        generator = ensure_rng(rng)
+        n = qubo.num_variables
+        if n == 0:
+            return QuboSolution(
+                assignment=np.zeros(0, dtype=np.int8),
+                energy=qubo.offset,
+                solver_name=self.name,
+            )
+
+        tenure = self.tenure if self.tenure is not None else max(5, n // 10)
+
+        best_state: Optional[np.ndarray] = None
+        best_energy = np.inf
+        total_moves = 0
+
+        for restart in range(self.num_restarts):
+            if restart == 0 and self.initial_state is not None:
+                if self.initial_state.size != n:
+                    raise ConfigurationError(
+                        f"initial_state has {self.initial_state.size} bits, expected {n}"
+                    )
+                state = self.initial_state.copy()
+            else:
+                state = generator.integers(0, 2, size=n, dtype=np.int8)
+            energy = qubo.energy(state)
+            local_best_energy = energy
+            tabu_until = np.full(n, -1, dtype=np.int64)
+
+            for iteration in range(self.max_iterations):
+                total_moves += 1
+                deltas = np.array(
+                    [qubo.energy_delta_flip(state, index) for index in range(n)]
+                )
+                candidate_energies = energy + deltas
+                allowed = (tabu_until < iteration) | (candidate_energies < best_energy - 1e-12)
+                if not np.any(allowed):
+                    allowed = np.ones(n, dtype=bool)
+                masked = np.where(allowed, candidate_energies, np.inf)
+                move = int(np.argmin(masked))
+                state[move] = 1 - state[move]
+                energy = float(candidate_energies[move])
+                tabu_until[move] = iteration + tenure
+                if energy < local_best_energy:
+                    local_best_energy = energy
+                if energy < best_energy:
+                    best_energy = energy
+                    best_state = state.copy()
+
+            if best_state is None or local_best_energy < best_energy:
+                best_energy = min(best_energy, local_best_energy)
+                if best_state is None:
+                    best_state = state.copy()
+
+        assert best_state is not None
+        return QuboSolution(
+            assignment=best_state,
+            energy=float(best_energy),
+            solver_name=self.name,
+            compute_time_us=self.time_per_iteration_us * total_moves,
+            iterations=total_moves,
+            metadata={"tenure": tenure, "num_restarts": self.num_restarts},
+        )

@@ -1,0 +1,171 @@
+"""Command-line entry point: run any paper experiment from a terminal.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments fig3            # Figure 3  (QUBO simplification)
+    repro-experiments fig6            # Figure 6  (delta-E% distributions)
+    repro-experiments fig7            # Figure 7  (initial-state quality)
+    repro-experiments fig8            # Figure 8  (p* and TTS vs s_p)
+    repro-experiments headline        # Abstract's 2-10x comparison
+    repro-experiments pipeline        # Figure 2  (pipelined processing)
+    repro-experiments ablation        # initialiser ablation
+    repro-experiments constraints     # Figure 4  (soft constraints)
+    repro-experiments snr             # extension: BER vs SNR under AWGN
+    repro-experiments pause           # extension: the power of pausing
+    repro-experiments all             # everything, in order
+
+``--paper-scale`` switches the configurations that support it to the paper's
+full instance/read counts (slow); ``--quick`` selects the minimal smoke-test
+configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    Figure3Config,
+    Figure6Config,
+    Figure7Config,
+    Figure8Config,
+    HeadlineConfig,
+    InitializerAblationConfig,
+    PauseAblationConfig,
+    PipelineStudyConfig,
+    SNRStudyConfig,
+    SoftConstraintConfig,
+    format_figure3_table,
+    format_figure6_table,
+    format_figure7_table,
+    format_figure8_table,
+    format_headline_report,
+    format_initializer_table,
+    format_pause_table,
+    format_pipeline_table,
+    format_snr_table,
+    format_soft_constraint_table,
+    run_figure3,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_headline,
+    run_initializer_ablation,
+    run_pause_ablation,
+    run_pipeline_study,
+    run_snr_study,
+    run_soft_constraint_study,
+)
+
+__all__ = ["main"]
+
+
+def _select(config_class, scale: str):
+    """Pick the configuration variant for the requested scale."""
+    if scale == "paper" and hasattr(config_class, "paper_scale"):
+        return config_class.paper_scale()
+    if scale == "quick" and hasattr(config_class, "quick"):
+        return config_class.quick()
+    return config_class()
+
+
+def _run_fig3(scale: str) -> str:
+    return format_figure3_table(run_figure3(_select(Figure3Config, scale)))
+
+
+def _run_fig6(scale: str) -> str:
+    return format_figure6_table(run_figure6(_select(Figure6Config, scale)))
+
+
+def _run_fig7(scale: str) -> str:
+    return format_figure7_table(run_figure7(_select(Figure7Config, scale)))
+
+
+def _run_fig8(scale: str) -> str:
+    return format_figure8_table(run_figure8(_select(Figure8Config, scale)))
+
+
+def _run_headline(scale: str) -> str:
+    return format_headline_report(run_headline(_select(HeadlineConfig, scale)))
+
+
+def _run_pipeline(scale: str) -> str:
+    return format_pipeline_table(run_pipeline_study(_select(PipelineStudyConfig, scale)))
+
+
+def _run_ablation(scale: str) -> str:
+    return format_initializer_table(
+        run_initializer_ablation(_select(InitializerAblationConfig, scale))
+    )
+
+
+def _run_constraints(scale: str) -> str:
+    return format_soft_constraint_table(
+        run_soft_constraint_study(_select(SoftConstraintConfig, scale))
+    )
+
+
+def _run_snr(scale: str) -> str:
+    return format_snr_table(run_snr_study(_select(SNRStudyConfig, scale)))
+
+
+def _run_pause(scale: str) -> str:
+    return format_pause_table(run_pause_ablation(_select(PauseAblationConfig, scale)))
+
+
+_EXPERIMENTS: Dict[str, Callable[[str], str]] = {
+    "fig3": _run_fig3,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "headline": _run_headline,
+    "pipeline": _run_pipeline,
+    "ablation": _run_ablation,
+    "constraints": _run_constraints,
+    "snr": _run_snr,
+    "pause": _run_pause,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of the HotNets 2020 hybrid "
+        "classical-quantum wireless paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full instance and read counts (slow)",
+    )
+    scale.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the minimal smoke-test configurations",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
+
+    names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for name in names:
+        print(_EXPERIMENTS[name](scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

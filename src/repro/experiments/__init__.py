@@ -1,0 +1,137 @@
+"""Experiment runners reproducing every figure of the paper's evaluation.
+
+Each experiment module exposes a configuration dataclass, a ``run`` function
+returning structured results, and a ``format_table`` helper that prints the
+same rows/series the paper reports.  The benchmark harness under
+``benchmarks/`` is a thin wrapper over these runners; they can also be invoked
+from the command line via ``repro-experiments`` (see :mod:`repro.cli`).
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+E-F3      Figure 3 — QUBO simplification by variable prefixing
+E-F6      Figure 6 — ΔE% distributions of FA / RA(random) / RA(GS)
+E-F7      Figure 7 — RA performance vs initial-state quality ΔE_IS%
+E-F8      Figure 8 — p* and TTS vs s_p for FA / FR / RA
+E-HL      Headline — RA vs FA speedup (2-10x claim)
+E-F2      Figure 2 — pipelined classical/quantum processing
+E-F4      Figure 4 — soft-information constraints (ablation)
+E-AB1     Ablation — initialiser quality (GS / ZF / MMSE / sphere)
+E-X1      Extension — BER vs SNR under AWGN
+E-X2      Extension — the power of pausing (pause-duration ablation)
+========  ==========================================================
+"""
+
+from repro.experiments.instances import (
+    InstanceBundle,
+    synthesize_instance,
+    synthesize_instances,
+    paper_figure6_configurations,
+    variables_for,
+)
+from repro.experiments.fig3_simplification import (
+    Figure3Config,
+    Figure3Row,
+    run_figure3,
+    format_figure3_table,
+)
+from repro.experiments.fig6_distributions import (
+    Figure6Config,
+    Figure6Series,
+    run_figure6,
+    format_figure6_table,
+)
+from repro.experiments.fig7_initial_state import (
+    Figure7Config,
+    Figure7Row,
+    run_figure7,
+    format_figure7_table,
+)
+from repro.experiments.fig8_tts import (
+    Figure8Config,
+    Figure8Row,
+    run_figure8,
+    format_figure8_table,
+)
+from repro.experiments.headline import (
+    HeadlineConfig,
+    HeadlineResult,
+    run_headline,
+    format_headline_report,
+)
+from repro.experiments.pipeline_study import (
+    PipelineStudyConfig,
+    PipelineStudyResult,
+    run_pipeline_study,
+    format_pipeline_table,
+)
+from repro.experiments.ablation import (
+    InitializerAblationConfig,
+    InitializerAblationRow,
+    run_initializer_ablation,
+    format_initializer_table,
+    SoftConstraintConfig,
+    SoftConstraintRow,
+    run_soft_constraint_study,
+    format_soft_constraint_table,
+)
+from repro.experiments.snr_study import (
+    SNRStudyConfig,
+    SNRStudyRow,
+    run_snr_study,
+    format_snr_table,
+)
+from repro.experiments.pause_ablation import (
+    PauseAblationConfig,
+    PauseAblationRow,
+    run_pause_ablation,
+    format_pause_table,
+)
+
+__all__ = [
+    "InstanceBundle",
+    "synthesize_instance",
+    "synthesize_instances",
+    "paper_figure6_configurations",
+    "variables_for",
+    "Figure3Config",
+    "Figure3Row",
+    "run_figure3",
+    "format_figure3_table",
+    "Figure6Config",
+    "Figure6Series",
+    "run_figure6",
+    "format_figure6_table",
+    "Figure7Config",
+    "Figure7Row",
+    "run_figure7",
+    "format_figure7_table",
+    "Figure8Config",
+    "Figure8Row",
+    "run_figure8",
+    "format_figure8_table",
+    "HeadlineConfig",
+    "HeadlineResult",
+    "run_headline",
+    "format_headline_report",
+    "PipelineStudyConfig",
+    "PipelineStudyResult",
+    "run_pipeline_study",
+    "format_pipeline_table",
+    "InitializerAblationConfig",
+    "InitializerAblationRow",
+    "run_initializer_ablation",
+    "format_initializer_table",
+    "SoftConstraintConfig",
+    "SoftConstraintRow",
+    "run_soft_constraint_study",
+    "format_soft_constraint_table",
+    "SNRStudyConfig",
+    "SNRStudyRow",
+    "run_snr_study",
+    "format_snr_table",
+    "PauseAblationConfig",
+    "PauseAblationRow",
+    "run_pause_ablation",
+    "format_pause_table",
+]

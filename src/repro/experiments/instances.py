@@ -1,0 +1,194 @@
+"""Synthesis of MIMO-detection QUBO instances per the paper's protocol.
+
+Section 4.2: "We synthesize 10-20 (QUBO) instances of random MIMO detection
+for various user numbers and modulations (BPSK, QPSK, 16-QAM, and 64-QAM)
+with unit gain signal and unit gain wireless channel with random phase. [...]
+In the experiments, we exclude the wireless noise (AWGN)."
+
+Because the protocol is noiseless, the transmitted symbol vector is an exact
+zero-residual solution of the ML objective and therefore a ground state of the
+QuAMax QUBO.  :func:`synthesize_instance` exploits that to provide the exact
+ground-state energy for instances far too large to brute-force, and verifies
+it against exhaustive search for small instances when asked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.qubo.energy import brute_force_minimum
+from repro.transform.mimo_to_qubo import MIMOQuboEncoding, mimo_to_qubo
+from repro.utils.rng import stable_seed
+from repro.wireless.channel import ChannelModel, UnitGainRandomPhaseChannel
+from repro.wireless.mimo import MIMOConfig, MIMOTransmission, simulate_transmission
+from repro.wireless.modulation import get_modulation
+
+__all__ = [
+    "InstanceBundle",
+    "synthesize_instance",
+    "synthesize_instances",
+    "variables_for",
+    "users_for_variables",
+    "paper_figure6_configurations",
+]
+
+
+@dataclass(frozen=True)
+class InstanceBundle:
+    """One synthetic detection instance with its QUBO encoding and ground truth.
+
+    Attributes
+    ----------
+    transmission:
+        The simulated channel use (instance + transmitted payload).
+    encoding:
+        The QuAMax QUBO encoding of the instance.
+    ground_state:
+        A ground-state bitstring of the QUBO (the transmitted payload's
+        encoding in the noiseless protocol).
+    ground_energy:
+        Its (negative) QUBO energy.
+    verified_exhaustively:
+        Whether the ground state was double-checked by brute force.
+    """
+
+    transmission: MIMOTransmission
+    encoding: MIMOQuboEncoding
+    ground_state: np.ndarray
+    ground_energy: float
+    verified_exhaustively: bool = False
+
+    @property
+    def num_variables(self) -> int:
+        """QUBO variable count of the instance."""
+        return self.encoding.num_variables
+
+    @property
+    def modulation(self) -> str:
+        """Modulation name of the instance."""
+        return self.transmission.instance.modulation
+
+    @property
+    def num_users(self) -> int:
+        """Number of spatial streams."""
+        return self.transmission.instance.num_users
+
+    def describe(self) -> str:
+        """One-line description used in benchmark output."""
+        return (
+            f"{self.num_users}-user {self.modulation} "
+            f"({self.num_variables} variables, E_g = {self.ground_energy:.3f})"
+        )
+
+
+def variables_for(num_users: int, modulation: str) -> int:
+    """QUBO variable count for a user count and modulation."""
+    return num_users * get_modulation(modulation).bits_per_symbol
+
+
+def users_for_variables(num_variables: int, modulation: str) -> int:
+    """User count whose QuAMax encoding has exactly ``num_variables`` variables.
+
+    Raises :class:`ConfigurationError` when the division is not exact (e.g. a
+    35-variable 16-QAM problem does not exist).
+    """
+    bits = get_modulation(modulation).bits_per_symbol
+    users, remainder = divmod(num_variables, bits)
+    if remainder or users <= 0:
+        raise ConfigurationError(
+            f"{num_variables} variables is not a whole number of {modulation} users"
+        )
+    return users
+
+
+def paper_figure6_configurations(num_variables: int = 36) -> List[Tuple[int, str]]:
+    """The (users, modulation) pairs giving ``num_variables``-variable problems.
+
+    Figure 6 uses 36-variable decoding problems for every modulation: 36-user
+    BPSK, 18-user QPSK, 9-user 16-QAM and 6-user 64-QAM.
+    """
+    configurations = []
+    for modulation in ("BPSK", "QPSK", "16-QAM", "64-QAM"):
+        bits = get_modulation(modulation).bits_per_symbol
+        if num_variables % bits == 0:
+            configurations.append((num_variables // bits, modulation))
+    return configurations
+
+
+def synthesize_instance(
+    num_users: int,
+    modulation: str,
+    seed: int = 0,
+    channel_model: Optional[ChannelModel] = None,
+    verify_exhaustively: bool = False,
+    exhaustive_limit: int = 20,
+) -> InstanceBundle:
+    """Synthesize one noiseless MIMO detection instance with known ground truth.
+
+    Parameters
+    ----------
+    num_users, modulation:
+        Link configuration (receive antennas = users, the paper's setting).
+    seed:
+        Deterministic instance seed; the same seed always yields the same
+        instance regardless of call order.
+    channel_model:
+        Defaults to the paper's unit-gain random-phase channel.
+    verify_exhaustively:
+        When true and the problem has at most ``exhaustive_limit`` variables,
+        the analytically known ground state is cross-checked by brute force.
+    """
+    config = MIMOConfig(num_users=num_users, modulation=modulation, snr_db=None)
+    model = channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
+    rng = np.random.default_rng(stable_seed("instance", num_users, modulation, seed))
+    transmission = simulate_transmission(config, model, rng)
+    encoding = mimo_to_qubo(transmission.instance)
+
+    ground_state = encoding.symbols_to_bits(transmission.transmitted_symbols)
+    ground_energy = float(encoding.qubo.energy(ground_state))
+
+    verified = False
+    if verify_exhaustively and encoding.num_variables <= exhaustive_limit:
+        exact = brute_force_minimum(encoding.qubo, max_variables=exhaustive_limit)
+        if exact.energy < ground_energy - 1e-6:
+            # Extremely unlikely in the noiseless protocol (would require an
+            # exactly degenerate alternative symbol vector), but prefer the
+            # exhaustive answer if it ever happens.
+            ground_state = exact.assignment
+            ground_energy = float(exact.energy)
+        verified = True
+
+    return InstanceBundle(
+        transmission=transmission,
+        encoding=encoding,
+        ground_state=np.asarray(ground_state, dtype=np.int8),
+        ground_energy=ground_energy,
+        verified_exhaustively=verified,
+    )
+
+
+def synthesize_instances(
+    count: int,
+    num_users: int,
+    modulation: str,
+    base_seed: int = 0,
+    channel_model: Optional[ChannelModel] = None,
+    verify_exhaustively: bool = False,
+) -> List[InstanceBundle]:
+    """Synthesize ``count`` independent instances of one configuration."""
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    return [
+        synthesize_instance(
+            num_users,
+            modulation,
+            seed=base_seed + index,
+            channel_model=channel_model,
+            verify_exhaustively=verify_exhaustively,
+        )
+        for index in range(count)
+    ]

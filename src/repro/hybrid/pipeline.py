@@ -1,0 +1,283 @@
+"""Pipelined classical/quantum processing of successive channel uses.
+
+Paper Figure 2 sketches the eventual goal of the hybrid architecture: data
+from successive wireless channel uses flow through *staged* classical and
+quantum processing units, so that while the quantum stage refines channel use
+N the classical stage is already pre-processing channel use N+1.  The paper
+lists this as Design Challenge 3 (balancing, buffering, costs) but does not
+quantify it; this module provides the discrete-event simulator the E-F2
+benchmark uses to do so.
+
+The simulator models each stage as a single FIFO server:
+
+* the **classical stage** runs the chosen initialiser on each arriving channel
+  use (service time = the initialiser's modelled compute time);
+* the **quantum stage** runs reverse annealing programmed with that
+  initialiser's output (service time = schedule duration x reads, plus the
+  device's per-read readout/delay overheads when ``include_qpu_overheads``).
+
+Running the same workload with ``pipelined=False`` serialises the two stages
+onto a single server, which is the baseline Figure 2 is contrasted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.annealing.sampler import QuantumAnnealerSimulator
+from repro.annealing.schedule import reverse_anneal_schedule
+from repro.classical.base import QuboSolver
+from repro.classical.greedy import GreedySearchSolver
+from repro.exceptions import PipelineError
+from repro.transform.mimo_to_qubo import mimo_to_qubo
+from repro.utils.rng import RandomState, ensure_rng
+from repro.wireless.traffic import ChannelUse
+
+__all__ = [
+    "StageTiming",
+    "PipelineJobResult",
+    "PipelineReport",
+    "HybridPipelineSimulator",
+]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """When one pipeline stage started and finished serving a job."""
+
+    start_us: float
+    finish_us: float
+
+    @property
+    def service_us(self) -> float:
+        """Service duration of the stage."""
+        return self.finish_us - self.start_us
+
+
+@dataclass(frozen=True)
+class PipelineJobResult:
+    """Per-channel-use outcome of the pipeline simulation."""
+
+    index: int
+    arrival_us: float
+    classical: StageTiming
+    quantum: StageTiming
+    completion_us: float
+    latency_us: float
+    deadline_us: Optional[float]
+    met_deadline: Optional[bool]
+    detected_optimum: Optional[bool]
+    best_energy: float
+    ground_energy: Optional[float]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Aggregate statistics of one pipeline simulation run."""
+
+    jobs: List[PipelineJobResult]
+    pipelined: bool
+    makespan_us: float
+    mean_latency_us: float
+    p95_latency_us: float
+    throughput_jobs_per_ms: float
+    classical_utilization: float
+    quantum_utilization: float
+    deadline_miss_rate: Optional[float]
+    optimum_rate: Optional[float]
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of channel uses processed."""
+        return len(self.jobs)
+
+
+class HybridPipelineSimulator:
+    """Discrete-event simulation of the Figure-2 hybrid pipeline.
+
+    Parameters
+    ----------
+    classical_solver:
+        Initialiser run by the classical stage (defaults to Greedy Search).
+    sampler:
+        Annealer simulator used by the quantum stage.
+    switch_s, pause_duration_us, num_reads:
+        Reverse-annealing parameters of the quantum stage.
+    include_qpu_overheads:
+        When true the quantum stage's service time includes per-read readout
+        and inter-sample delays from the device model (realistic); when false
+        it counts pure anneal time only (the paper's TTS convention).
+    evaluate_solutions:
+        When true the annealer is actually run per channel use so solution
+        quality can be reported; when false only the timing model is exercised
+        (much faster — useful for long traffic traces).
+    """
+
+    def __init__(
+        self,
+        classical_solver: Optional[QuboSolver] = None,
+        sampler: Optional[QuantumAnnealerSimulator] = None,
+        switch_s: float = 0.41,
+        pause_duration_us: float = 1.0,
+        num_reads: int = 50,
+        include_qpu_overheads: bool = False,
+        evaluate_solutions: bool = True,
+    ) -> None:
+        if not 0.0 < switch_s < 1.0:
+            raise PipelineError(f"switch_s must lie strictly inside (0, 1), got {switch_s}")
+        if num_reads <= 0:
+            raise PipelineError(f"num_reads must be positive, got {num_reads}")
+        self.classical_solver = classical_solver if classical_solver is not None else GreedySearchSolver()
+        self.sampler = sampler if sampler is not None else QuantumAnnealerSimulator()
+        self.switch_s = float(switch_s)
+        self.pause_duration_us = float(pause_duration_us)
+        self.num_reads = int(num_reads)
+        self.include_qpu_overheads = bool(include_qpu_overheads)
+        self.evaluate_solutions = bool(evaluate_solutions)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        channel_uses: Sequence[ChannelUse],
+        pipelined: bool = True,
+        rng: RandomState = None,
+    ) -> PipelineReport:
+        """Simulate the processing of a channel-use stream.
+
+        With ``pipelined=True`` the classical and quantum stages overlap
+        across successive channel uses; with ``pipelined=False`` each channel
+        use occupies a single combined server for the sum of both service
+        times (the non-pipelined baseline).
+        """
+        if not channel_uses:
+            raise PipelineError("channel_uses must not be empty")
+        generator = ensure_rng(rng)
+        schedule = reverse_anneal_schedule(self.switch_s, self.pause_duration_us)
+
+        jobs: List[PipelineJobResult] = []
+        classical_free_at = 0.0
+        quantum_free_at = 0.0
+        combined_free_at = 0.0
+        classical_busy = 0.0
+        quantum_busy = 0.0
+
+        for channel_use in channel_uses:
+            encoding = mimo_to_qubo(channel_use.transmission.instance)
+            ground_energy: Optional[float] = None
+            if channel_use.transmission.noise_variance == 0.0:
+                # In the noiseless protocol the transmitted vector is the exact
+                # ML solution, so the ground energy is known analytically.
+                transmitted_bits = encoding.symbols_to_bits(
+                    channel_use.transmission.transmitted_symbols
+                )
+                ground_energy = encoding.qubo.energy(transmitted_bits)
+
+            initial = self.classical_solver.solve(encoding.qubo, generator)
+            classical_service = max(initial.compute_time_us, 1e-9)
+
+            quantum_service = schedule.duration_us * self.num_reads
+            if self.include_qpu_overheads:
+                quantum_service += self.num_reads * (
+                    self.sampler.device.readout_time_us + self.sampler.device.inter_sample_delay_us
+                )
+
+            best_energy = initial.energy
+            detected_optimum: Optional[bool] = None
+            if self.evaluate_solutions:
+                sampleset = self.sampler.sample_qubo(
+                    encoding.qubo,
+                    schedule,
+                    num_reads=self.num_reads,
+                    initial_state=initial.assignment,
+                    rng=generator,
+                )
+                best_energy = min(best_energy, sampleset.lowest_energy())
+            if ground_energy is not None:
+                detected_optimum = bool(best_energy <= ground_energy + 1e-6)
+
+            arrival = channel_use.arrival_time_us
+            if pipelined:
+                classical_start = max(arrival, classical_free_at)
+                classical_finish = classical_start + classical_service
+                classical_free_at = classical_finish
+                quantum_start = max(classical_finish, quantum_free_at)
+                quantum_finish = quantum_start + quantum_service
+                quantum_free_at = quantum_finish
+            else:
+                classical_start = max(arrival, combined_free_at)
+                classical_finish = classical_start + classical_service
+                quantum_start = classical_finish
+                quantum_finish = quantum_start + quantum_service
+                combined_free_at = quantum_finish
+
+            classical_busy += classical_service
+            quantum_busy += quantum_service
+            completion = quantum_finish
+            latency = completion - arrival
+            met_deadline: Optional[bool] = None
+            if channel_use.deadline_us is not None:
+                met_deadline = bool(completion <= channel_use.deadline_us)
+
+            jobs.append(
+                PipelineJobResult(
+                    index=channel_use.index,
+                    arrival_us=arrival,
+                    classical=StageTiming(classical_start, classical_finish),
+                    quantum=StageTiming(quantum_start, quantum_finish),
+                    completion_us=completion,
+                    latency_us=latency,
+                    deadline_us=channel_use.deadline_us,
+                    met_deadline=met_deadline,
+                    detected_optimum=detected_optimum,
+                    best_energy=float(best_energy),
+                    ground_energy=ground_energy,
+                )
+            )
+
+        return self._report(jobs, pipelined, classical_busy, quantum_busy)
+
+    # ------------------------------------------------------------------ #
+
+    def _report(
+        self,
+        jobs: List[PipelineJobResult],
+        pipelined: bool,
+        classical_busy: float,
+        quantum_busy: float,
+    ) -> PipelineReport:
+        latencies = np.array([job.latency_us for job in jobs])
+        first_arrival = min(job.arrival_us for job in jobs)
+        makespan = max(job.completion_us for job in jobs) - first_arrival
+        makespan = max(makespan, 1e-9)
+
+        deadline_flags = [job.met_deadline for job in jobs if job.met_deadline is not None]
+        miss_rate = None
+        if deadline_flags:
+            miss_rate = 1.0 - float(np.mean(deadline_flags))
+
+        optimum_flags = [job.detected_optimum for job in jobs if job.detected_optimum is not None]
+        optimum_rate = float(np.mean(optimum_flags)) if optimum_flags else None
+
+        return PipelineReport(
+            jobs=jobs,
+            pipelined=pipelined,
+            makespan_us=float(makespan),
+            mean_latency_us=float(np.mean(latencies)),
+            p95_latency_us=float(np.percentile(latencies, 95)),
+            throughput_jobs_per_ms=float(len(jobs) / (makespan / 1000.0)),
+            classical_utilization=float(classical_busy / makespan),
+            quantum_utilization=float(quantum_busy / makespan),
+            deadline_miss_rate=miss_rate,
+            optimum_rate=optimum_rate,
+            metadata={
+                "switch_s": self.switch_s,
+                "num_reads": self.num_reads,
+                "include_qpu_overheads": self.include_qpu_overheads,
+                "classical_solver": self.classical_solver.name,
+            },
+        )

@@ -1,0 +1,103 @@
+"""Time-to-solution (TTS), the paper's headline performance metric (Eq. 2).
+
+TTS(C_t) is the expected wall-clock time needed to observe the global optimum
+at least once with confidence ``C_t``, given a solver whose single execution
+lasts ``duration`` and succeeds with probability ``p*``:
+
+    TTS(C_t) = duration * log(1 - C_t/100) / log(1 - p*).
+
+Conventions handled explicitly:
+
+* ``p* = 0``  → TTS is infinite (the solver never succeeds);
+* ``p* = 1``  → TTS equals one execution's duration;
+* ``p* >= C_t/100`` would make the repeat count smaller than one; the repeat
+  count is floored at 1 because a solver cannot run for less than one
+  execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.annealing.sampleset import SampleSet
+from repro.exceptions import ConfigurationError
+
+__all__ = ["time_to_solution", "tts_from_sampleset", "TTSResult"]
+
+
+@dataclass(frozen=True)
+class TTSResult:
+    """TTS together with the quantities it was computed from."""
+
+    tts_us: float
+    success_probability: float
+    duration_us: float
+    confidence_percent: float
+    repeats: float
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether the solver ever found the optimum (p* > 0)."""
+        return np.isfinite(self.tts_us)
+
+
+def time_to_solution(
+    success_probability: float,
+    duration_us: float,
+    confidence_percent: float = 99.0,
+) -> TTSResult:
+    """Compute TTS(C_t%) from a success probability and per-run duration."""
+    if not 0.0 <= success_probability <= 1.0:
+        raise ConfigurationError(
+            f"success_probability must lie in [0, 1], got {success_probability}"
+        )
+    if duration_us <= 0:
+        raise ConfigurationError(f"duration_us must be positive, got {duration_us}")
+    if not 0.0 < confidence_percent < 100.0:
+        raise ConfigurationError(
+            f"confidence_percent must lie strictly inside (0, 100), got {confidence_percent}"
+        )
+
+    if success_probability == 0.0:
+        repeats = np.inf
+    elif success_probability == 1.0:
+        repeats = 1.0
+    else:
+        repeats = np.log(1.0 - confidence_percent / 100.0) / np.log(1.0 - success_probability)
+        repeats = max(repeats, 1.0)
+
+    tts = duration_us * repeats
+    return TTSResult(
+        tts_us=float(tts),
+        success_probability=float(success_probability),
+        duration_us=float(duration_us),
+        confidence_percent=float(confidence_percent),
+        repeats=float(repeats),
+    )
+
+
+def tts_from_sampleset(
+    sampleset: SampleSet,
+    ground_energy: float,
+    confidence_percent: float = 99.0,
+    duration_us: Optional[float] = None,
+    tolerance: float = 1e-6,
+) -> TTSResult:
+    """Compute TTS from a sample set's empirical success probability.
+
+    ``duration_us`` defaults to the anneal-schedule duration recorded in the
+    sample set's metadata — the same convention the paper uses (TTS counts
+    pure anneal time, not programming or readout overheads).
+    """
+    duration = duration_us
+    if duration is None:
+        duration = sampleset.metadata.get("schedule_duration_us")
+    if duration is None:
+        raise ConfigurationError(
+            "duration_us not given and the sample set has no schedule metadata"
+        )
+    probability = sampleset.success_probability(ground_energy, tolerance)
+    return time_to_solution(probability, float(duration), confidence_percent)

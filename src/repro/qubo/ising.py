@@ -1,0 +1,180 @@
+"""Ising model and exact QUBO <-> Ising conversions.
+
+Quantum annealers physically implement the Ising Hamiltonian
+
+    E(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j,    s_i in {-1, +1},
+
+which is equivalent to the QUBO form of paper Eq. 1 under the substitution
+``q_i = (1 + s_i) / 2``.  The conversions implemented here are exact
+(including the constant offset), so energies agree to floating-point
+precision on every assignment — a property the test suite checks with
+hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.qubo.model import QUBOModel
+
+__all__ = ["IsingModel", "qubo_to_ising", "ising_to_qubo", "spins_to_bits", "bits_to_spins"]
+
+
+def spins_to_bits(spins: Sequence[int]) -> np.ndarray:
+    """Map +/-1 spins to 0/1 bits using ``q = (1 + s) / 2``."""
+    spins = np.asarray(spins, dtype=int).ravel()
+    if spins.size and not np.all(np.isin(spins, (-1, 1))):
+        raise ValueError("spins must be -1 or +1")
+    return ((spins + 1) // 2).astype(np.int8)
+
+
+def bits_to_spins(bits: Sequence[int]) -> np.ndarray:
+    """Map 0/1 bits to +/-1 spins using ``s = 2q - 1``."""
+    bits = np.asarray(bits, dtype=int).ravel()
+    if bits.size and not np.all(np.isin(bits, (0, 1))):
+        raise ValueError("bits must be 0 or 1")
+    return (2 * bits - 1).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class IsingModel:
+    """An immutable Ising instance with local fields h and couplings J.
+
+    The coupling matrix is stored strictly upper-triangular; any square input
+    is folded upward (and its diagonal is rejected, since ``s_i^2 = 1`` terms
+    belong in the offset).
+    """
+
+    fields: np.ndarray
+    couplings: np.ndarray
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        fields = np.asarray(self.fields, dtype=float).ravel()
+        couplings = np.asarray(self.couplings, dtype=float)
+        if couplings.ndim != 2 or couplings.shape[0] != couplings.shape[1]:
+            raise DimensionError(
+                f"couplings must form a square matrix, got shape {couplings.shape}"
+            )
+        if couplings.shape[0] != fields.size:
+            raise DimensionError(
+                f"{fields.size} fields supplied for {couplings.shape[0]} spins"
+            )
+        diagonal = np.diagonal(couplings)
+        extra_offset = float(np.sum(diagonal))
+        upper = np.triu(couplings, k=1) + np.tril(couplings, k=-1).T
+        object.__setattr__(self, "fields", fields)
+        object.__setattr__(self, "couplings", upper)
+        object.__setattr__(self, "offset", float(self.offset) + extra_offset)
+
+    @property
+    def num_spins(self) -> int:
+        """Number of spin variables."""
+        return int(self.fields.size)
+
+    def energy(self, spins: Sequence[int]) -> float:
+        """Energy of a +/-1 spin assignment, including the offset."""
+        vector = np.asarray(spins, dtype=float).ravel()
+        if vector.size != self.num_spins:
+            raise DimensionError(
+                f"assignment has {vector.size} spins, expected {self.num_spins}"
+            )
+        return float(self.fields @ vector + vector @ self.couplings @ vector + self.offset)
+
+    def energies(self, assignments: np.ndarray) -> np.ndarray:
+        """Vectorised energies for a batch of spin assignments (rows)."""
+        batch = np.atleast_2d(np.asarray(assignments, dtype=float))
+        if batch.shape[1] != self.num_spins:
+            raise DimensionError(
+                f"assignments have {batch.shape[1]} columns, expected {self.num_spins}"
+            )
+        quadratic = np.einsum("bi,ij,bj->b", batch, self.couplings, batch)
+        return batch @ self.fields + quadratic + self.offset
+
+    def coupling(self, i: int, j: int) -> float:
+        """Coupling J_ij (order-insensitive, 0 if absent)."""
+        if i == j:
+            raise ValueError("Ising couplings are defined for distinct spins only")
+        low, high = (i, j) if i < j else (j, i)
+        return float(self.couplings[low, high])
+
+    def neighbourhood(self, index: int) -> Dict[int, float]:
+        """Nonzero couplings touching spin ``index``."""
+        result: Dict[int, float] = {}
+        for j in range(self.num_spins):
+            if j == index:
+                continue
+            value = self.coupling(index, j)
+            if value != 0.0:
+                result[j] = value
+        return result
+
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute field or coupling (used for hardware rescaling)."""
+        candidates = [np.max(np.abs(self.fields)) if self.fields.size else 0.0]
+        if self.num_spins:
+            candidates.append(float(np.max(np.abs(self.couplings))))
+        return float(max(candidates))
+
+
+def qubo_to_ising(qubo: QUBOModel) -> IsingModel:
+    """Convert a QUBO to the exactly equivalent Ising model.
+
+    With ``q = (1 + s) / 2`` the QUBO energy becomes an Ising energy with
+
+    * J_ij = Q_ij / 4 for i < j,
+    * h_i  = Q_ii / 2 + (sum_j Q_ij + Q_ji) / 4 over off-diagonal couplings,
+    * offset = sum_i Q_ii / 2 + sum_{i<j} Q_ij / 4 + original offset.
+    """
+    n = qubo.num_variables
+    matrix = qubo.coefficients
+    fields = np.zeros(n)
+    couplings = np.zeros((n, n))
+    offset = qubo.offset
+
+    for i in range(n):
+        linear = matrix[i, i]
+        fields[i] += linear / 2.0
+        offset += linear / 2.0
+        for j in range(i + 1, n):
+            quad = matrix[i, j]
+            if quad == 0.0:
+                continue
+            couplings[i, j] += quad / 4.0
+            fields[i] += quad / 4.0
+            fields[j] += quad / 4.0
+            offset += quad / 4.0
+
+    return IsingModel(fields=fields, couplings=couplings, offset=offset)
+
+
+def ising_to_qubo(ising: IsingModel) -> QUBOModel:
+    """Convert an Ising model to the exactly equivalent QUBO.
+
+    Uses ``s = 2q - 1``; the resulting coefficients are
+
+    * Q_ij = 4 J_ij for i < j,
+    * Q_ii = 2 h_i - 2 * sum_j (J_ij + J_ji),
+    * offset = sum_{i<j} J_ij - sum_i h_i + original offset.
+    """
+    n = ising.num_spins
+    matrix = np.zeros((n, n))
+    offset = ising.offset
+
+    for i in range(n):
+        matrix[i, i] += 2.0 * ising.fields[i]
+        offset -= ising.fields[i]
+        for j in range(i + 1, n):
+            coupling = ising.couplings[i, j]
+            if coupling == 0.0:
+                continue
+            matrix[i, j] += 4.0 * coupling
+            matrix[i, i] -= 2.0 * coupling
+            matrix[j, j] -= 2.0 * coupling
+            offset += coupling
+
+    return QUBOModel(coefficients=matrix, offset=offset)

@@ -1,0 +1,299 @@
+"""The QUBO model container (paper Eq. 1).
+
+A QUBO instance is an upper-triangular real matrix ``Q``; the objective is
+
+    E(q) = sum_{i <= j} Q[i, j] * q_i * q_j,      q_i in {0, 1}.
+
+:class:`QUBOModel` normalises arbitrary square coefficient matrices to the
+upper-triangular convention (symmetric or lower-triangular input is folded
+upward), evaluates energies for single assignments and batches, and supports
+the algebraic operations the rest of the library needs: fixing variables,
+adding constraint terms, relabelling, and conversion to the Ising form
+(through :mod:`repro.qubo.ising`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["QUBOModel"]
+
+
+def _to_upper_triangular(matrix: np.ndarray) -> np.ndarray:
+    """Fold a square coefficient matrix into the upper-triangular convention."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DimensionError(
+            f"QUBO coefficients must form a square matrix, got shape {matrix.shape}"
+        )
+    upper = np.triu(matrix)
+    lower = np.tril(matrix, k=-1)
+    return upper + lower.T
+
+
+@dataclass(frozen=True)
+class QUBOModel:
+    """An immutable QUBO instance.
+
+    Parameters
+    ----------
+    coefficients:
+        Square matrix of QUBO coefficients.  Any square matrix is accepted;
+        entries below the diagonal are folded onto their transpose position so
+        the stored matrix is always upper-triangular.
+    offset:
+        Constant added to every energy (arises when variables are fixed or
+        when converting from Ising form).
+    variable_names:
+        Optional labels (defaults to ``q0..qN-1``); used by the MIMO transform
+        to record which payload bit each variable represents.
+    """
+
+    coefficients: np.ndarray
+    offset: float = 0.0
+    variable_names: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        matrix = _to_upper_triangular(self.coefficients)
+        object.__setattr__(self, "coefficients", matrix)
+        object.__setattr__(self, "offset", float(self.offset))
+        names = tuple(self.variable_names) if self.variable_names else tuple(
+            f"q{i}" for i in range(matrix.shape[0])
+        )
+        if len(names) != matrix.shape[0]:
+            raise DimensionError(
+                f"{len(names)} variable names supplied for {matrix.shape[0]} variables"
+            )
+        object.__setattr__(self, "variable_names", names)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(
+        cls,
+        linear: Mapping[int, float],
+        quadratic: Mapping[Tuple[int, int], float],
+        num_variables: Optional[int] = None,
+        offset: float = 0.0,
+    ) -> "QUBOModel":
+        """Build a model from sparse linear/quadratic coefficient mappings."""
+        indices = set(linear)
+        for i, j in quadratic:
+            indices.add(i)
+            indices.add(j)
+        size = num_variables if num_variables is not None else (max(indices) + 1 if indices else 0)
+        matrix = np.zeros((size, size), dtype=float)
+        for i, value in linear.items():
+            matrix[i, i] += value
+        for (i, j), value in quadratic.items():
+            if i == j:
+                matrix[i, i] += value
+            elif i < j:
+                matrix[i, j] += value
+            else:
+                matrix[j, i] += value
+        return cls(coefficients=matrix, offset=offset)
+
+    @classmethod
+    def empty(cls, num_variables: int) -> "QUBOModel":
+        """An all-zero QUBO on ``num_variables`` variables."""
+        return cls(coefficients=np.zeros((num_variables, num_variables)))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables."""
+        return int(self.coefficients.shape[0])
+
+    @property
+    def linear(self) -> np.ndarray:
+        """Diagonal (linear) coefficients as a copy."""
+        return np.diagonal(self.coefficients).copy()
+
+    @property
+    def quadratic(self) -> Dict[Tuple[int, int], float]:
+        """Sparse mapping of strictly-upper-triangular nonzero couplings."""
+        couplings: Dict[Tuple[int, int], float] = {}
+        rows, cols = np.nonzero(np.triu(self.coefficients, k=1))
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            couplings[(i, j)] = float(self.coefficients[i, j])
+        return couplings
+
+    def coupling(self, i: int, j: int) -> float:
+        """Coefficient of the ``q_i q_j`` term (order-insensitive)."""
+        if i == j:
+            return float(self.coefficients[i, i])
+        low, high = (i, j) if i < j else (j, i)
+        return float(self.coefficients[low, high])
+
+    def neighbourhood(self, index: int) -> Dict[int, float]:
+        """Nonzero couplings touching variable ``index`` (excluding its linear term)."""
+        result: Dict[int, float] = {}
+        for j in range(self.num_variables):
+            if j == index:
+                continue
+            value = self.coupling(index, j)
+            if value != 0.0:
+                result[j] = value
+        return result
+
+    def density(self) -> float:
+        """Fraction of possible off-diagonal couplings that are nonzero."""
+        n = self.num_variables
+        if n < 2:
+            return 0.0
+        possible = n * (n - 1) / 2
+        return len(self.quadratic) / possible
+
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute coefficient (used for auto-scaling chain strength)."""
+        if self.num_variables == 0:
+            return 0.0
+        return float(np.max(np.abs(self.coefficients)))
+
+    # ------------------------------------------------------------------ #
+    # Energy evaluation
+    # ------------------------------------------------------------------ #
+
+    def energy(self, assignment: Sequence[int]) -> float:
+        """Energy of one 0/1 assignment (including the offset)."""
+        vector = np.asarray(assignment, dtype=float).ravel()
+        if vector.size != self.num_variables:
+            raise DimensionError(
+                f"assignment has {vector.size} entries, expected {self.num_variables}"
+            )
+        return float(vector @ self.coefficients @ vector + self.offset)
+
+    def energies(self, assignments: np.ndarray) -> np.ndarray:
+        """Vectorised energies for a batch of assignments (rows)."""
+        batch = np.atleast_2d(np.asarray(assignments, dtype=float))
+        if batch.shape[1] != self.num_variables:
+            raise DimensionError(
+                f"assignments have {batch.shape[1]} columns, expected {self.num_variables}"
+            )
+        return np.einsum("bi,ij,bj->b", batch, self.coefficients, batch) + self.offset
+
+    def energy_delta_flip(self, assignment: np.ndarray, index: int) -> float:
+        """Energy change from flipping variable ``index`` in ``assignment``.
+
+        Used by local-search solvers (greedy descent, tabu, simulated
+        annealing) to avoid recomputing full energies on every move.
+        """
+        vector = np.asarray(assignment, dtype=float).ravel()
+        if not 0 <= index < self.num_variables:
+            raise IndexError(f"variable index {index} out of range")
+        current = vector[index]
+        new = 1.0 - current
+        row = self.coefficients[index, :]
+        col = self.coefficients[:, index]
+        interaction = row @ vector + col @ vector - 2 * self.coefficients[index, index] * current
+        linear = self.coefficients[index, index]
+        delta_from_zero_to_one = linear + interaction
+        return float(delta_from_zero_to_one if new == 1.0 else -delta_from_zero_to_one)
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+
+    def add(self, other: "QUBOModel") -> "QUBOModel":
+        """Sum of two QUBOs on the same variable set."""
+        if other.num_variables != self.num_variables:
+            raise DimensionError(
+                f"cannot add QUBOs with {self.num_variables} and {other.num_variables} variables"
+            )
+        return QUBOModel(
+            coefficients=self.coefficients + other.coefficients,
+            offset=self.offset + other.offset,
+            variable_names=self.variable_names,
+        )
+
+    def scale(self, factor: float) -> "QUBOModel":
+        """Multiply every coefficient (and the offset) by ``factor``."""
+        return QUBOModel(
+            coefficients=self.coefficients * factor,
+            offset=self.offset * factor,
+            variable_names=self.variable_names,
+        )
+
+    def fix_variables(self, assignments: Mapping[int, int]) -> "QUBOModel":
+        """Return the reduced QUBO obtained by fixing some variables.
+
+        Fixing ``q_i = v`` removes variable ``i``; its contributions move into
+        the offset (constant part) and into the linear terms of the remaining
+        variables it coupled to.  Variable names of surviving variables are
+        preserved.
+        """
+        for index, value in assignments.items():
+            if not 0 <= index < self.num_variables:
+                raise IndexError(f"variable index {index} out of range")
+            if value not in (0, 1):
+                raise ValueError(f"fixed value for variable {index} must be 0 or 1, got {value}")
+
+        keep = [i for i in range(self.num_variables) if i not in assignments]
+        new_size = len(keep)
+        new_matrix = np.zeros((new_size, new_size), dtype=float)
+        new_offset = self.offset
+        position = {old: new for new, old in enumerate(keep)}
+
+        for i in range(self.num_variables):
+            for j in range(i, self.num_variables):
+                value = self.coefficients[i, j]
+                if value == 0.0:
+                    continue
+                i_fixed = i in assignments
+                j_fixed = j in assignments
+                if i_fixed and j_fixed:
+                    new_offset += value * assignments[i] * assignments[j]
+                elif i_fixed:
+                    new_matrix[position[j], position[j]] += value * assignments[i]
+                elif j_fixed:
+                    new_matrix[position[i], position[i]] += value * assignments[j]
+                else:
+                    new_matrix[position[i], position[j]] += value
+
+        names = tuple(self.variable_names[i] for i in keep)
+        return QUBOModel(coefficients=new_matrix, offset=new_offset, variable_names=names)
+
+    def relabel(self, names: Sequence[str]) -> "QUBOModel":
+        """Return a copy with new variable names."""
+        return QUBOModel(
+            coefficients=self.coefficients.copy(),
+            offset=self.offset,
+            variable_names=tuple(names),
+        )
+
+    def subqubo(self, indices: Iterable[int]) -> "QUBOModel":
+        """Restriction of the model to a subset of variables (others dropped)."""
+        index_list = list(indices)
+        matrix = self.coefficients[np.ix_(index_list, index_list)]
+        names = tuple(self.variable_names[i] for i in index_list)
+        return QUBOModel(coefficients=matrix, offset=self.offset, variable_names=names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QUBOModel):
+            return NotImplemented
+        return (
+            self.num_variables == other.num_variables
+            and np.allclose(self.coefficients, other.coefficients)
+            and np.isclose(self.offset, other.offset)
+            and self.variable_names == other.variable_names
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_variables, round(self.offset, 12), self.variable_names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QUBOModel(num_variables={self.num_variables}, "
+            f"couplings={len(self.quadratic)}, offset={self.offset:.4g})"
+        )

@@ -1,0 +1,66 @@
+"""Serialization of QUBO models to dictionaries and JSON text.
+
+Experiment runners persist synthesized instances alongside their results so
+that benchmark runs can be replayed bit-for-bit.  The sparse dictionary form
+(`linear`, `quadratic`, `offset`, `variable_names`) is stable across library
+versions and human-readable for small instances.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.qubo.model import QUBOModel
+
+__all__ = ["qubo_to_dict", "qubo_from_dict", "qubo_to_json", "qubo_from_json"]
+
+
+def qubo_to_dict(qubo: QUBOModel) -> Dict[str, Any]:
+    """Convert a model to a JSON-friendly sparse dictionary."""
+    linear = {
+        str(index): float(value)
+        for index, value in enumerate(qubo.linear)
+        if value != 0.0
+    }
+    quadratic = {
+        f"{i},{j}": float(value) for (i, j), value in qubo.quadratic.items()
+    }
+    return {
+        "num_variables": qubo.num_variables,
+        "linear": linear,
+        "quadratic": quadratic,
+        "offset": float(qubo.offset),
+        "variable_names": list(qubo.variable_names),
+    }
+
+
+def qubo_from_dict(payload: Dict[str, Any]) -> QUBOModel:
+    """Reconstruct a model from :func:`qubo_to_dict` output."""
+    num_variables = int(payload["num_variables"])
+    matrix = np.zeros((num_variables, num_variables))
+    for index_text, value in payload.get("linear", {}).items():
+        index = int(index_text)
+        matrix[index, index] = float(value)
+    for key, value in payload.get("quadratic", {}).items():
+        i_text, j_text = key.split(",")
+        i, j = int(i_text), int(j_text)
+        matrix[i, j] = float(value)
+    names = payload.get("variable_names")
+    return QUBOModel(
+        coefficients=matrix,
+        offset=float(payload.get("offset", 0.0)),
+        variable_names=tuple(names) if names else (),
+    )
+
+
+def qubo_to_json(qubo: QUBOModel, indent: int = None) -> str:
+    """Serialise a model to JSON text."""
+    return json.dumps(qubo_to_dict(qubo), indent=indent, sort_keys=True)
+
+
+def qubo_from_json(text: str) -> QUBOModel:
+    """Reconstruct a model from :func:`qubo_to_json` output."""
+    return qubo_from_dict(json.loads(text))

@@ -1,0 +1,229 @@
+"""The QuAMax reduction: MIMO maximum-likelihood detection to QUBO form.
+
+The ML detection objective is ``||y - H x||^2`` minimised over constellation
+vectors ``x``.  Writing each symbol's I/Q amplitudes as linear functions of
+binary variables (see :mod:`repro.transform.symbol_mapping`) gives
+
+    x = A q + b,          A in C^{Nt x N},  b in C^{Nt},
+
+and substituting into the objective yields an exactly equivalent QUBO
+
+    E(q) = q^T Re(G^H G) q - 2 Re(y_eff^H G) q        (+ constant),
+
+with ``G = H A`` and ``y_eff = y - H b``.  Following the QuAMax convention the
+constant ``||y_eff||^2`` is *not* included in the QUBO (it is recorded in the
+encoding), so ground-state energies are negative and the paper's ΔE% metric is
+well defined.
+
+:func:`mimo_to_qubo` builds the QUBO together with a :class:`MIMOQuboEncoding`
+that can decode any QUBO bitstring back into detected symbols and Gray-coded
+payload bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TransformError
+from repro.qubo.model import QUBOModel
+from repro.wireless.mimo import MIMODetectionResult, MIMOInstance
+from repro.wireless.modulation import Modulation
+from repro.transform.symbol_mapping import SymbolBitMapping
+
+__all__ = ["MIMOQuboEncoding", "mimo_to_qubo", "decode_bits_to_symbols"]
+
+
+@dataclass(frozen=True)
+class MIMOQuboEncoding:
+    """A MIMO detection instance together with its QUBO encoding.
+
+    Attributes
+    ----------
+    instance:
+        The original detection instance (channel, received vector, modulation).
+    qubo:
+        The equivalent QUBO (constant term excluded, per QuAMax convention).
+    constant:
+        The excluded constant ``||y_eff||^2``; ``qubo.energy(q) + constant``
+        equals the ML objective ``||y - H x(q)||^2`` exactly.
+    mappings:
+        Per-user bit layout descriptors.
+    amplitude_matrix / amplitude_offset:
+        The linear map ``x = A q + b`` used by the reduction.
+    """
+
+    instance: MIMOInstance
+    qubo: QUBOModel
+    constant: float
+    mappings: Tuple[SymbolBitMapping, ...]
+    amplitude_matrix: np.ndarray = field(repr=False)
+    amplitude_offset: np.ndarray = field(repr=False)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of QUBO variables (payload bits per channel use)."""
+        return self.qubo.num_variables
+
+    @property
+    def modulation(self) -> Modulation:
+        """The modulation scheme of the encoded instance."""
+        return self.instance.modulation_scheme
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+
+    def bits_to_symbols(self, qubo_bits: Sequence[int]) -> np.ndarray:
+        """Reconstruct the complex symbol vector encoded by a QUBO bitstring."""
+        bits = self._validate_bits(qubo_bits)
+        return np.asarray(
+            [mapping.symbol_from_bits(bits) for mapping in self.mappings], dtype=complex
+        )
+
+    def symbols_to_bits(self, symbols: Sequence[complex]) -> np.ndarray:
+        """QUBO bitstring encoding an exact constellation symbol vector."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        if symbols.size != len(self.mappings):
+            raise TransformError(
+                f"expected {len(self.mappings)} symbols, got {symbols.size}"
+            )
+        bits: List[int] = []
+        for mapping, symbol in zip(self.mappings, symbols):
+            bits.extend(mapping.bits_from_symbol(complex(symbol)))
+        return np.asarray(bits, dtype=np.int8)
+
+    def payload_bits(self, qubo_bits: Sequence[int]) -> np.ndarray:
+        """Gray-coded payload bits (what the MAC layer receives) for a bitstring."""
+        bits = self._validate_bits(qubo_bits)
+        payload: List[int] = []
+        for mapping in self.mappings:
+            payload.extend(mapping.gray_payload_bits(bits))
+        return np.asarray(payload, dtype=np.int8)
+
+    def bits_from_payload(self, payload_bits: Sequence[int]) -> np.ndarray:
+        """QUBO bitstring corresponding to Gray-coded payload bits."""
+        payload_bits = np.asarray(payload_bits, dtype=int).ravel()
+        expected = sum(mapping.bits_per_symbol for mapping in self.mappings)
+        if payload_bits.size != expected:
+            raise TransformError(
+                f"expected {expected} payload bits, got {payload_bits.size}"
+            )
+        bits: List[int] = []
+        cursor = 0
+        for mapping in self.mappings:
+            chunk = payload_bits[cursor : cursor + mapping.bits_per_symbol]
+            bits.extend(mapping.transform_bits_from_payload(chunk.tolist()))
+            cursor += mapping.bits_per_symbol
+        return np.asarray(bits, dtype=np.int8)
+
+    def ml_objective(self, qubo_bits: Sequence[int]) -> float:
+        """Exact ML objective ``||y - H x(q)||^2`` of a QUBO bitstring."""
+        return self.qubo.energy(qubo_bits) + self.constant
+
+    def detection_result(self, qubo_bits: Sequence[int], algorithm: str = "qubo") -> MIMODetectionResult:
+        """Package a QUBO bitstring as a :class:`MIMODetectionResult`."""
+        bits = self._validate_bits(qubo_bits)
+        symbols = self.bits_to_symbols(bits)
+        return MIMODetectionResult(
+            symbols=symbols,
+            bits=self.payload_bits(bits),
+            objective_value=self.ml_objective(bits),
+            algorithm=algorithm,
+            metadata={"qubo_bits": np.asarray(bits, dtype=np.int8)},
+        )
+
+    def _validate_bits(self, qubo_bits: Sequence[int]) -> np.ndarray:
+        bits = np.asarray(qubo_bits, dtype=int).ravel()
+        if bits.size != self.num_variables:
+            raise TransformError(
+                f"expected {self.num_variables} QUBO bits, got {bits.size}"
+            )
+        if bits.size and not np.all(np.isin(bits, (0, 1))):
+            raise TransformError("QUBO bits must be 0 or 1")
+        return bits
+
+
+def _amplitude_map(instance: MIMOInstance) -> Tuple[np.ndarray, np.ndarray, Tuple[SymbolBitMapping, ...]]:
+    """Build the linear map ``x = A q + b`` and the per-user bit layouts."""
+    modulation = instance.modulation_scheme
+    num_users = instance.num_users
+    bits_per_symbol = modulation.bits_per_symbol
+    bits_per_dim = modulation.bits_per_dimension
+    scale = modulation.scale
+    total_bits = num_users * bits_per_symbol
+
+    amplitude_matrix = np.zeros((num_users, total_bits), dtype=complex)
+    amplitude_offset = np.zeros(num_users, dtype=complex)
+    mappings: List[SymbolBitMapping] = []
+
+    for user in range(num_users):
+        first = user * bits_per_symbol
+        mapping = SymbolBitMapping(modulation=modulation, user_index=user, first_variable=first)
+        mappings.append(mapping)
+
+        # In-phase bits: amplitude = scale * sum 2^(m-1-j) (2 q_j - 1)
+        for position, variable in enumerate(mapping.in_phase_indices):
+            weight = scale * (1 << (bits_per_dim - 1 - position))
+            amplitude_matrix[user, variable] += 2.0 * weight
+            amplitude_offset[user] -= weight
+        # Quadrature bits contribute to the imaginary part (absent for BPSK).
+        for position, variable in enumerate(mapping.quadrature_indices):
+            weight = scale * (1 << (bits_per_dim - 1 - position))
+            amplitude_matrix[user, variable] += 2.0j * weight
+            amplitude_offset[user] -= 1.0j * weight
+
+    return amplitude_matrix, amplitude_offset, tuple(mappings)
+
+
+def mimo_to_qubo(instance: MIMOInstance) -> MIMOQuboEncoding:
+    """Reduce a MIMO detection instance to an exactly equivalent QUBO.
+
+    The returned encoding satisfies, for every QUBO bitstring ``q``::
+
+        encoding.qubo.energy(q) + encoding.constant
+            == || instance.received - instance.channel_matrix @ x(q) ||^2
+
+    where ``x(q)`` is the symbol vector decoded by ``encoding.bits_to_symbols``.
+    """
+    amplitude_matrix, amplitude_offset, mappings = _amplitude_map(instance)
+    channel = instance.channel_matrix
+    received = instance.received
+
+    effective_matrix = channel @ amplitude_matrix  # G = H A, shape (Nr, N)
+    effective_received = received - channel @ amplitude_offset  # y_eff = y - H b
+
+    gram = np.real(np.conjugate(effective_matrix.T) @ effective_matrix)
+    linear_correlation = np.real(np.conjugate(effective_received) @ effective_matrix)
+
+    total_bits = amplitude_matrix.shape[1]
+    coefficients = np.zeros((total_bits, total_bits))
+    for i in range(total_bits):
+        coefficients[i, i] = gram[i, i] - 2.0 * linear_correlation[i]
+        for j in range(i + 1, total_bits):
+            coefficients[i, j] = 2.0 * gram[i, j]
+
+    constant = float(np.real(np.vdot(effective_received, effective_received)))
+
+    modulation = instance.modulation_scheme
+    names = []
+    for mapping in mappings:
+        for offset_index in range(modulation.bits_per_symbol):
+            names.append(f"u{mapping.user_index}b{offset_index}")
+
+    qubo = QUBOModel(coefficients=coefficients, offset=0.0, variable_names=tuple(names))
+    return MIMOQuboEncoding(
+        instance=instance,
+        qubo=qubo,
+        constant=constant,
+        mappings=mappings,
+        amplitude_matrix=amplitude_matrix,
+        amplitude_offset=amplitude_offset,
+    )
+
+
+def decode_bits_to_symbols(encoding: MIMOQuboEncoding, qubo_bits: Sequence[int]) -> np.ndarray:
+    """Convenience wrapper around :meth:`MIMOQuboEncoding.bits_to_symbols`."""
+    return encoding.bits_to_symbols(qubo_bits)

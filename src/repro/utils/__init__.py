@@ -1,0 +1,47 @@
+"""Shared low-level utilities used across the repro library.
+
+The submodules are intentionally small and dependency-free (beyond numpy):
+
+* :mod:`repro.utils.rng` — reproducible random-number-generator plumbing.
+* :mod:`repro.utils.linalg` — complex/real decompositions used by the MIMO
+  detection transform and linear detectors.
+* :mod:`repro.utils.validation` — argument checking helpers shared by the
+  public API surface.
+* :mod:`repro.utils.serialization` — JSON-friendly encoding of numpy-backed
+  dataclasses.
+"""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.linalg import (
+    complex_to_real_stacked,
+    real_to_complex_stacked,
+    hermitian,
+    is_hermitian,
+    vector_norm_squared,
+)
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_power_of_two,
+    require_probability,
+)
+from repro.utils.serialization import to_jsonable, from_jsonable
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "complex_to_real_stacked",
+    "real_to_complex_stacked",
+    "hermitian",
+    "is_hermitian",
+    "vector_norm_squared",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+    "require_probability",
+    "to_jsonable",
+    "from_jsonable",
+]

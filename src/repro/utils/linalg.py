@@ -1,0 +1,95 @@
+"""Linear-algebra helpers for complex baseband signal processing.
+
+MIMO detection operates on complex channel matrices and symbol vectors, while
+the QUBO reduction and several classical detectors operate on an equivalent
+real-valued "stacked" representation.  These helpers centralise that
+conversion so the convention (real parts on top, imaginary parts below) is
+applied consistently everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "complex_to_real_stacked",
+    "real_to_complex_stacked",
+    "complex_vector_to_real",
+    "real_vector_to_complex",
+    "hermitian",
+    "is_hermitian",
+    "vector_norm_squared",
+    "gram_matrix",
+]
+
+
+def complex_to_real_stacked(matrix: np.ndarray) -> np.ndarray:
+    """Expand a complex matrix H into the real 2Nr x 2Nt block matrix.
+
+    The expansion follows the standard MIMO real decomposition::
+
+        [[ Re(H), -Im(H)],
+         [ Im(H),  Re(H)]]
+
+    so that ``H @ x`` in the complex domain equals the stacked real product.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
+    real = matrix.real
+    imag = matrix.imag
+    top = np.hstack([real, -imag])
+    bottom = np.hstack([imag, real])
+    return np.vstack([top, bottom])
+
+
+def real_to_complex_stacked(matrix: np.ndarray) -> np.ndarray:
+    """Invert :func:`complex_to_real_stacked` (best-effort reconstruction)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] % 2 or matrix.shape[1] % 2:
+        raise ValueError("expected a 2-D matrix with even dimensions")
+    rows = matrix.shape[0] // 2
+    cols = matrix.shape[1] // 2
+    real = matrix[:rows, :cols]
+    imag = matrix[rows:, :cols]
+    return real + 1j * imag
+
+
+def complex_vector_to_real(vector: np.ndarray) -> np.ndarray:
+    """Stack a complex vector into ``[Re(x); Im(x)]``."""
+    vector = np.asarray(vector, dtype=complex).ravel()
+    return np.concatenate([vector.real, vector.imag])
+
+
+def real_vector_to_complex(vector: np.ndarray) -> np.ndarray:
+    """Invert :func:`complex_vector_to_real`."""
+    vector = np.asarray(vector, dtype=float).ravel()
+    if vector.size % 2:
+        raise ValueError("stacked real vector must have even length")
+    half = vector.size // 2
+    return vector[:half] + 1j * vector[half:]
+
+
+def hermitian(matrix: np.ndarray) -> np.ndarray:
+    """Return the conjugate transpose of a matrix."""
+    return np.conjugate(np.asarray(matrix)).T
+
+
+def is_hermitian(matrix: np.ndarray, tolerance: float = 1e-10) -> bool:
+    """Check whether a square matrix equals its conjugate transpose."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, hermitian(matrix), atol=tolerance))
+
+
+def vector_norm_squared(vector: np.ndarray) -> float:
+    """Squared Euclidean norm of a (possibly complex) vector."""
+    vector = np.asarray(vector).ravel()
+    return float(np.real(np.vdot(vector, vector)))
+
+
+def gram_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Return the Gram matrix ``H^H H`` used by linear MIMO detectors."""
+    matrix = np.asarray(matrix)
+    return hermitian(matrix) @ matrix

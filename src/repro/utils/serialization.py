@@ -1,0 +1,70 @@
+"""JSON-friendly serialization of numpy-backed results.
+
+Experiment runners persist their configuration and results as plain JSON so
+that benchmark output can be archived and compared across runs.  These helpers
+recursively convert numpy scalars/arrays and dataclasses into built-in Python
+types (and back, for the array case, via explicit markers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["to_jsonable", "from_jsonable"]
+
+_ARRAY_MARKER = "__ndarray__"
+_COMPLEX_MARKER = "__complex__"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable builtins."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, complex) or isinstance(value, np.complexfloating):
+        return {_COMPLEX_MARKER: [float(np.real(value)), float(np.imag(value))]}
+    if isinstance(value, np.ndarray):
+        if np.iscomplexobj(value):
+            return {
+                _ARRAY_MARKER: {
+                    "real": value.real.tolist(),
+                    "imag": value.imag.tolist(),
+                    "dtype": "complex",
+                }
+            }
+        return {_ARRAY_MARKER: {"data": value.tolist(), "dtype": str(value.dtype)}}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    raise TypeError(f"cannot serialise value of type {type(value).__name__}")
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable` for arrays/complex markers (dicts stay dicts)."""
+    if isinstance(value, dict):
+        if _COMPLEX_MARKER in value and len(value) == 1:
+            real, imag = value[_COMPLEX_MARKER]
+            return complex(real, imag)
+        if _ARRAY_MARKER in value and len(value) == 1:
+            payload: Dict[str, Any] = value[_ARRAY_MARKER]
+            if payload.get("dtype") == "complex":
+                return np.asarray(payload["real"]) + 1j * np.asarray(payload["imag"])
+            return np.asarray(payload["data"], dtype=payload.get("dtype", float))
+        return {key: from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    return value

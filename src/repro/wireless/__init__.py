@@ -1,0 +1,66 @@
+"""Wireless PHY substrate: modulation, channels, and MIMO link simulation.
+
+This package provides the wireless-networking substrate the paper's
+evaluation depends on:
+
+* :mod:`repro.wireless.modulation` — Gray-coded BPSK/QPSK/16-QAM/64-QAM
+  constellations with bit/symbol mapping.
+* :mod:`repro.wireless.channel` — the paper's unit-gain random-phase channel,
+  a Rayleigh fading channel, and AWGN.
+* :mod:`repro.wireless.mimo` — spatial-multiplexing MIMO link simulation and
+  exact maximum-likelihood detection for ground truth.
+* :mod:`repro.wireless.metrics` — BER / SER / EVM link metrics.
+* :mod:`repro.wireless.traffic` — successive channel-use traffic generation
+  for the pipelining study (paper Figure 2).
+"""
+
+from repro.wireless.modulation import (
+    Modulation,
+    get_modulation,
+    available_modulations,
+    gray_code,
+    gray_decode,
+)
+from repro.wireless.channel import (
+    ChannelModel,
+    UnitGainRandomPhaseChannel,
+    RayleighFadingChannel,
+    IdentityChannel,
+    awgn,
+    noise_variance_for_snr,
+)
+from repro.wireless.mimo import (
+    MIMOConfig,
+    MIMOInstance,
+    MIMOTransmission,
+    MIMODetectionResult,
+    simulate_transmission,
+    maximum_likelihood_detect,
+)
+from repro.wireless.metrics import bit_error_rate, symbol_error_rate, error_vector_magnitude
+from repro.wireless.traffic import ChannelUse, TrafficGenerator
+
+__all__ = [
+    "Modulation",
+    "get_modulation",
+    "available_modulations",
+    "gray_code",
+    "gray_decode",
+    "ChannelModel",
+    "UnitGainRandomPhaseChannel",
+    "RayleighFadingChannel",
+    "IdentityChannel",
+    "awgn",
+    "noise_variance_for_snr",
+    "MIMOConfig",
+    "MIMOInstance",
+    "MIMOTransmission",
+    "MIMODetectionResult",
+    "simulate_transmission",
+    "maximum_likelihood_detect",
+    "bit_error_rate",
+    "symbol_error_rate",
+    "error_vector_magnitude",
+    "ChannelUse",
+    "TrafficGenerator",
+]

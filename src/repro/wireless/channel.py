@@ -1,0 +1,183 @@
+"""MIMO channel models and additive noise.
+
+The paper's experimental protocol (Sec. 4.2) synthesises detection instances
+with a *unit-gain wireless channel with random phase* and no AWGN.  The
+library also provides i.i.d. Rayleigh fading (the standard model used by the
+QuAMax baseline and by the classical detectors' literature) and an identity
+channel for debugging, plus AWGN generation for the extension benchmarks that
+sweep SNR.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "ChannelModel",
+    "UnitGainRandomPhaseChannel",
+    "RayleighFadingChannel",
+    "IdentityChannel",
+    "awgn",
+    "noise_variance_for_snr",
+    "apply_channel",
+]
+
+
+class ChannelModel(abc.ABC):
+    """Abstract generator of complex channel matrices H (receivers x users)."""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        receive_antennas: int,
+        transmit_antennas: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Draw one channel realisation of shape (receive, transmit)."""
+
+    def sample_many(
+        self,
+        count: int,
+        receive_antennas: int,
+        transmit_antennas: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Draw ``count`` independent realisations, stacked on axis 0."""
+        generator = ensure_rng(rng)
+        return np.stack(
+            [self.sample(receive_antennas, transmit_antennas, generator) for _ in range(count)]
+        )
+
+
+class UnitGainRandomPhaseChannel(ChannelModel):
+    """The paper's channel: every entry has unit magnitude and uniform phase.
+
+    ``H[r, t] = exp(j * theta)`` with ``theta ~ Uniform[0, 2*pi)``.  This keeps
+    the per-link gain deterministic so the difficulty of the resulting QUBO is
+    governed by phase interference alone, matching Sec. 4.2.
+    """
+
+    def sample(
+        self,
+        receive_antennas: int,
+        transmit_antennas: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        require_positive(receive_antennas, "receive_antennas")
+        require_positive(transmit_antennas, "transmit_antennas")
+        generator = ensure_rng(rng)
+        phases = generator.uniform(0.0, 2.0 * np.pi, size=(receive_antennas, transmit_antennas))
+        return np.exp(1j * phases)
+
+
+class RayleighFadingChannel(ChannelModel):
+    """I.i.d. circularly-symmetric complex Gaussian fading.
+
+    Entries are CN(0, ``average_power``); the default unit average power is
+    the conventional normalisation in the MIMO detection literature.
+    """
+
+    def __init__(self, average_power: float = 1.0) -> None:
+        require_positive(average_power, "average_power")
+        self.average_power = float(average_power)
+
+    def sample(
+        self,
+        receive_antennas: int,
+        transmit_antennas: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        require_positive(receive_antennas, "receive_antennas")
+        require_positive(transmit_antennas, "transmit_antennas")
+        generator = ensure_rng(rng)
+        scale = np.sqrt(self.average_power / 2.0)
+        shape = (receive_antennas, transmit_antennas)
+        return scale * (generator.standard_normal(shape) + 1j * generator.standard_normal(shape))
+
+
+class IdentityChannel(ChannelModel):
+    """A noiseless identity channel, useful for unit tests and debugging."""
+
+    def sample(
+        self,
+        receive_antennas: int,
+        transmit_antennas: int,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        require_positive(receive_antennas, "receive_antennas")
+        require_positive(transmit_antennas, "transmit_antennas")
+        matrix = np.zeros((receive_antennas, transmit_antennas), dtype=complex)
+        for index in range(min(receive_antennas, transmit_antennas)):
+            matrix[index, index] = 1.0
+        return matrix
+
+
+def noise_variance_for_snr(
+    snr_db: float, signal_power: float = 1.0, transmit_antennas: int = 1
+) -> float:
+    """Per-receive-antenna complex noise variance achieving a target SNR.
+
+    The SNR convention is total received signal power over noise power per
+    receive antenna, i.e. ``SNR = Nt * Es / N0`` for unit-gain channels.
+    """
+    require_positive(signal_power, "signal_power")
+    require_positive(transmit_antennas, "transmit_antennas")
+    snr_linear = 10.0 ** (snr_db / 10.0)
+    return float(transmit_antennas * signal_power / snr_linear)
+
+
+def awgn(
+    shape,
+    noise_variance: float,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Draw circularly-symmetric complex Gaussian noise with given variance.
+
+    ``noise_variance`` is the total complex variance (real and imaginary parts
+    each carry half of it).  A variance of zero returns exact zeros, matching
+    the paper's noiseless protocol.
+    """
+    if noise_variance < 0:
+        raise ValueError(f"noise_variance must be non-negative, got {noise_variance}")
+    if noise_variance == 0:
+        return np.zeros(shape, dtype=complex)
+    generator = ensure_rng(rng)
+    scale = np.sqrt(noise_variance / 2.0)
+    return scale * (generator.standard_normal(shape) + 1j * generator.standard_normal(shape))
+
+
+def apply_channel(
+    channel_matrix: np.ndarray,
+    transmitted: np.ndarray,
+    noise_variance: float = 0.0,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Compute the received vector ``y = H x + n``.
+
+    Parameters
+    ----------
+    channel_matrix:
+        Complex channel matrix of shape (receive, transmit).
+    transmitted:
+        Complex symbol vector of length ``transmit``.
+    noise_variance:
+        Total complex AWGN variance per receive antenna (0 disables noise).
+    """
+    channel_matrix = np.asarray(channel_matrix, dtype=complex)
+    transmitted = np.asarray(transmitted, dtype=complex).ravel()
+    if channel_matrix.ndim != 2:
+        raise DimensionError("channel_matrix must be 2-D")
+    if channel_matrix.shape[1] != transmitted.size:
+        raise DimensionError(
+            f"channel has {channel_matrix.shape[1]} transmit antennas but "
+            f"{transmitted.size} symbols were supplied"
+        )
+    noise = awgn(channel_matrix.shape[0], noise_variance, rng)
+    return channel_matrix @ transmitted + noise

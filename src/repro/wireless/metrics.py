@@ -1,0 +1,74 @@
+"""Link-level error metrics: BER, SER, and EVM.
+
+These metrics quantify how well a detector recovered the transmitted payload
+and are used by the example applications and the extension benchmarks that
+sweep SNR (the paper's headline experiments are noiseless, so there the only
+meaningful metric is whether the exact ML solution was found).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["bit_error_rate", "symbol_error_rate", "error_vector_magnitude"]
+
+
+def _as_flat_array(values: Sequence, dtype) -> np.ndarray:
+    return np.asarray(values, dtype=dtype).ravel()
+
+
+def bit_error_rate(transmitted_bits: Sequence[int], detected_bits: Sequence[int]) -> float:
+    """Fraction of payload bits detected incorrectly."""
+    transmitted = _as_flat_array(transmitted_bits, int)
+    detected = _as_flat_array(detected_bits, int)
+    if transmitted.size != detected.size:
+        raise DimensionError(
+            f"bit vectors differ in length: {transmitted.size} vs {detected.size}"
+        )
+    if transmitted.size == 0:
+        return 0.0
+    return float(np.mean(transmitted != detected))
+
+
+def symbol_error_rate(
+    transmitted_symbols: Sequence[complex],
+    detected_symbols: Sequence[complex],
+    tolerance: float = 1e-9,
+) -> float:
+    """Fraction of constellation symbols detected incorrectly.
+
+    Symbols are compared with a small tolerance because detected points are
+    reconstructed through floating-point arithmetic.
+    """
+    transmitted = _as_flat_array(transmitted_symbols, complex)
+    detected = _as_flat_array(detected_symbols, complex)
+    if transmitted.size != detected.size:
+        raise DimensionError(
+            f"symbol vectors differ in length: {transmitted.size} vs {detected.size}"
+        )
+    if transmitted.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(transmitted - detected) > tolerance))
+
+
+def error_vector_magnitude(
+    reference_symbols: Sequence[complex], measured_symbols: Sequence[complex]
+) -> float:
+    """Root-mean-square EVM (as a fraction of RMS reference magnitude)."""
+    reference = _as_flat_array(reference_symbols, complex)
+    measured = _as_flat_array(measured_symbols, complex)
+    if reference.size != measured.size:
+        raise DimensionError(
+            f"symbol vectors differ in length: {reference.size} vs {measured.size}"
+        )
+    if reference.size == 0:
+        return 0.0
+    reference_power = float(np.mean(np.abs(reference) ** 2))
+    if reference_power == 0:
+        raise ValueError("reference symbols have zero power")
+    error_power = float(np.mean(np.abs(measured - reference) ** 2))
+    return float(np.sqrt(error_power / reference_power))

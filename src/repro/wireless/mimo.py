@@ -1,0 +1,293 @@
+"""Spatial-multiplexing MIMO link simulation and exact ML detection.
+
+A *MIMO detection instance* is the tuple (H, y, modulation): the receiver
+observes ``y = H x + n`` and must recover the transmitted symbol vector ``x``
+whose entries come from a finite constellation.  Maximum-likelihood (ML)
+detection minimises ``||y - H x||^2`` over all constellation vectors, which is
+the combinatorial problem the paper reduces to QUBO form.
+
+This module provides:
+
+* :class:`MIMOConfig` — the static link configuration (users, antennas,
+  modulation, channel model, noise);
+* :func:`simulate_transmission` — draw a channel, transmit random bits, and
+  produce a :class:`MIMOInstance` together with the ground-truth payload;
+* :func:`maximum_likelihood_detect` — exact (exhaustive) ML detection used as
+  ground truth by the experiments and metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.wireless.channel import (
+    ChannelModel,
+    UnitGainRandomPhaseChannel,
+    apply_channel,
+    noise_variance_for_snr,
+)
+from repro.wireless.modulation import Modulation, get_modulation
+
+__all__ = [
+    "MIMOConfig",
+    "MIMOInstance",
+    "MIMOTransmission",
+    "MIMODetectionResult",
+    "simulate_transmission",
+    "maximum_likelihood_detect",
+    "residual_energy",
+]
+
+
+@dataclass(frozen=True)
+class MIMOConfig:
+    """Static configuration of a MIMO uplink.
+
+    Attributes
+    ----------
+    num_users:
+        Number of single-antenna transmitters (spatial streams), ``Nt``.
+    num_receive_antennas:
+        Number of base-station antennas, ``Nr``.  Defaults to ``num_users``
+        (the square large-MIMO setting the paper evaluates).
+    modulation:
+        Canonical modulation name; see :func:`repro.wireless.get_modulation`.
+    snr_db:
+        Signal-to-noise ratio in dB, or ``None`` for the paper's noiseless
+        protocol.
+    """
+
+    num_users: int
+    modulation: str = "BPSK"
+    num_receive_antennas: Optional[int] = None
+    snr_db: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ConfigurationError(f"num_users must be positive, got {self.num_users}")
+        receive = self.num_receive_antennas
+        if receive is not None and receive <= 0:
+            raise ConfigurationError(
+                f"num_receive_antennas must be positive, got {receive}"
+            )
+        # Resolve the modulation eagerly so invalid names fail at config time.
+        get_modulation(self.modulation)
+
+    @property
+    def receive_antennas(self) -> int:
+        """Number of receive antennas (defaults to the number of users)."""
+        return self.num_receive_antennas if self.num_receive_antennas else self.num_users
+
+    @property
+    def modulation_scheme(self) -> Modulation:
+        """The resolved :class:`Modulation` object."""
+        return get_modulation(self.modulation)
+
+    @property
+    def bits_per_channel_use(self) -> int:
+        """Total payload bits carried by one channel use."""
+        return self.num_users * self.modulation_scheme.bits_per_symbol
+
+    @property
+    def qubo_variable_count(self) -> int:
+        """Number of QUBO variables the QuAMax transform produces.
+
+        One variable per payload bit (Sec. 4.2 of the paper describes problem
+        sizes in these terms, e.g. "36-variable decoding problems").
+        """
+        return self.bits_per_channel_use
+
+    @property
+    def noise_variance(self) -> float:
+        """Complex AWGN variance implied by ``snr_db`` (0 when noiseless)."""
+        if self.snr_db is None:
+            return 0.0
+        return noise_variance_for_snr(
+            self.snr_db,
+            signal_power=self.modulation_scheme.average_energy(),
+            transmit_antennas=self.num_users,
+        )
+
+
+@dataclass(frozen=True)
+class MIMOInstance:
+    """One detection problem: what the receiver knows.
+
+    Attributes
+    ----------
+    channel_matrix:
+        Complex channel estimate H with shape (Nr, Nt).
+    received:
+        Complex received vector y with length Nr.
+    modulation:
+        Modulation name of the transmitted symbols.
+    """
+
+    channel_matrix: np.ndarray
+    received: np.ndarray
+    modulation: str
+
+    def __post_init__(self) -> None:
+        channel = np.asarray(self.channel_matrix, dtype=complex)
+        received = np.asarray(self.received, dtype=complex).ravel()
+        if channel.ndim != 2:
+            raise DimensionError("channel_matrix must be 2-D")
+        if channel.shape[0] != received.size:
+            raise DimensionError(
+                f"received vector length {received.size} does not match "
+                f"{channel.shape[0]} receive antennas"
+            )
+        object.__setattr__(self, "channel_matrix", channel)
+        object.__setattr__(self, "received", received)
+
+    @property
+    def num_users(self) -> int:
+        """Number of transmitted spatial streams."""
+        return int(self.channel_matrix.shape[1])
+
+    @property
+    def num_receive_antennas(self) -> int:
+        """Number of receive antennas."""
+        return int(self.channel_matrix.shape[0])
+
+    @property
+    def modulation_scheme(self) -> Modulation:
+        """The resolved :class:`Modulation` for this instance."""
+        return get_modulation(self.modulation)
+
+    @property
+    def qubo_variable_count(self) -> int:
+        """QUBO size produced by the QuAMax transform for this instance."""
+        return self.num_users * self.modulation_scheme.bits_per_symbol
+
+    def objective(self, candidate_symbols: Sequence[complex]) -> float:
+        """ML objective ``||y - H x||^2`` for a candidate symbol vector."""
+        return residual_energy(self.channel_matrix, self.received, candidate_symbols)
+
+
+@dataclass(frozen=True)
+class MIMOTransmission:
+    """A simulated transmission: the instance plus the ground-truth payload."""
+
+    instance: MIMOInstance
+    transmitted_symbols: np.ndarray
+    transmitted_bits: np.ndarray
+    noise_variance: float
+
+    @property
+    def config_summary(self) -> str:
+        """Short human-readable description of the transmission."""
+        return (
+            f"{self.instance.num_users}-user {self.instance.modulation} "
+            f"({self.instance.qubo_variable_count} QUBO variables)"
+        )
+
+
+@dataclass(frozen=True)
+class MIMODetectionResult:
+    """Outcome of a detection algorithm on one instance."""
+
+    symbols: np.ndarray
+    bits: np.ndarray
+    objective_value: float
+    algorithm: str = "ml-exhaustive"
+    metadata: dict = field(default_factory=dict)
+
+
+def residual_energy(
+    channel_matrix: np.ndarray,
+    received: np.ndarray,
+    candidate_symbols: Sequence[complex],
+) -> float:
+    """Compute ``||y - H x||^2`` for a candidate symbol vector."""
+    channel_matrix = np.asarray(channel_matrix, dtype=complex)
+    received = np.asarray(received, dtype=complex).ravel()
+    candidate = np.asarray(candidate_symbols, dtype=complex).ravel()
+    if candidate.size != channel_matrix.shape[1]:
+        raise DimensionError(
+            f"candidate has {candidate.size} symbols but channel expects "
+            f"{channel_matrix.shape[1]}"
+        )
+    residual = received - channel_matrix @ candidate
+    return float(np.real(np.vdot(residual, residual)))
+
+
+def simulate_transmission(
+    config: MIMOConfig,
+    channel_model: Optional[ChannelModel] = None,
+    rng: RandomState = None,
+) -> MIMOTransmission:
+    """Simulate one channel use under ``config``.
+
+    Draws a channel realisation, random payload bits, modulates them, applies
+    the channel and (optionally) AWGN, and returns both the receiver-visible
+    :class:`MIMOInstance` and the ground truth needed for error accounting.
+    """
+    generator = ensure_rng(rng)
+    model = channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
+    modulation = config.modulation_scheme
+
+    channel = model.sample(config.receive_antennas, config.num_users, generator)
+    bits = modulation.random_bits(config.num_users, generator)
+    symbols = modulation.modulate_bits(bits)
+    noise_variance = config.noise_variance
+    received = apply_channel(channel, symbols, noise_variance, generator)
+
+    instance = MIMOInstance(
+        channel_matrix=channel, received=received, modulation=config.modulation
+    )
+    return MIMOTransmission(
+        instance=instance,
+        transmitted_symbols=symbols,
+        transmitted_bits=bits,
+        noise_variance=noise_variance,
+    )
+
+
+def maximum_likelihood_detect(
+    instance: MIMOInstance, max_variables: int = 24
+) -> MIMODetectionResult:
+    """Exhaustive maximum-likelihood detection.
+
+    Enumerates every constellation vector, so the cost is
+    ``M ** num_users``; the ``max_variables`` guard (measured in equivalent
+    QUBO variables, i.e. payload bits) protects against accidental
+    exponential blow-ups.  Experiments that need exact optima for larger
+    instances should use the QUBO-domain exhaustive solver on the transformed
+    problem instead, which is equivalent but shares its implementation with
+    the solver stack.
+    """
+    modulation = instance.modulation_scheme
+    total_bits = instance.qubo_variable_count
+    if total_bits > max_variables:
+        raise ConfigurationError(
+            f"exhaustive ML over {total_bits} bits exceeds max_variables="
+            f"{max_variables}; raise the limit explicitly if this is intended"
+        )
+
+    best_objective = np.inf
+    best_indices: Tuple[int, ...] = ()
+    for indices in itertools.product(range(modulation.order), repeat=instance.num_users):
+        candidate = modulation.modulate_indices(indices)
+        objective = instance.objective(candidate)
+        if objective < best_objective:
+            best_objective = objective
+            best_indices = indices
+
+    symbols = modulation.modulate_indices(best_indices)
+    bits = np.concatenate(
+        [np.asarray(modulation.bits_for_index(index), dtype=int) for index in best_indices]
+    )
+    return MIMODetectionResult(
+        symbols=symbols,
+        bits=bits,
+        objective_value=float(best_objective),
+        algorithm="ml-exhaustive",
+        metadata={"enumerated": modulation.order ** instance.num_users},
+    )

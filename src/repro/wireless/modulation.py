@@ -1,0 +1,302 @@
+"""Gray-coded digital modulation schemes.
+
+The paper evaluates MIMO detection for BPSK, QPSK, 16-QAM and 64-QAM.  This
+module provides those constellations with a Gray bit-to-symbol mapping (used
+by the wireless link simulation, BER accounting, and the soft-information
+constraint study of paper Figure 4) together with the *natural* per-dimension
+amplitude mapping used by the QuAMax QUBO transform.
+
+A :class:`Modulation` instance is immutable and cheap; :func:`get_modulation`
+returns a shared instance per scheme name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModulationError
+
+__all__ = [
+    "Modulation",
+    "get_modulation",
+    "available_modulations",
+    "gray_code",
+    "gray_decode",
+    "bits_to_int",
+    "int_to_bits",
+]
+
+#: Canonical modulation names recognised by :func:`get_modulation`.
+_CANONICAL_NAMES = {
+    "bpsk": "BPSK",
+    "qpsk": "QPSK",
+    "4qam": "QPSK",
+    "4-qam": "QPSK",
+    "16qam": "16-QAM",
+    "16-qam": "16-QAM",
+    "64qam": "64-QAM",
+    "64-qam": "64-QAM",
+}
+
+#: Bits per complex symbol for each canonical scheme.
+_BITS_PER_SYMBOL = {"BPSK": 1, "QPSK": 2, "16-QAM": 4, "64-QAM": 6}
+
+
+def gray_code(value: int) -> int:
+    """Return the Gray code of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Invert :func:`gray_code`."""
+    if code < 0:
+        raise ValueError(f"code must be non-negative, got {code}")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Interpret a bit sequence (MSB first) as an unsigned integer."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+        value = (value << 1) | int(bit)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> Tuple[int, ...]:
+    """Expand an unsigned integer into ``width`` bits, MSB first."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> shift) & 1 for shift in reversed(range(width)))
+
+
+def _pam_levels(bits_per_dimension: int) -> np.ndarray:
+    """Amplitude levels of a Gray-coded PAM with the given bit width.
+
+    Levels are the odd integers centred on zero, e.g. ``[-3, -1, 1, 3]`` for
+    two bits.  Index ``i`` of the returned array is the level whose *Gray*
+    label is ``i``.
+    """
+    count = 1 << bits_per_dimension
+    natural_levels = np.arange(count) * 2 - (count - 1)
+    levels = np.empty(count, dtype=float)
+    for natural_index, amplitude in enumerate(natural_levels):
+        levels[gray_code(natural_index)] = amplitude
+    return levels
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """An immutable Gray-coded modulation scheme.
+
+    Attributes
+    ----------
+    name:
+        Canonical scheme name (``"BPSK"``, ``"QPSK"``, ``"16-QAM"``, ``"64-QAM"``).
+    bits_per_symbol:
+        Number of bits carried by one complex constellation symbol.
+    normalized:
+        If true, the constellation is scaled to unit average symbol energy
+        (the paper's "unit gain signal"); otherwise the raw odd-integer grid
+        is used.
+    """
+
+    name: str
+    bits_per_symbol: int
+    normalized: bool = True
+    _points: np.ndarray = field(repr=False, compare=False, default=None)
+    _labels: Dict[Tuple[int, ...], int] = field(repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        points, labels = _build_constellation(self.name, self.bits_per_symbol, self.normalized)
+        object.__setattr__(self, "_points", points)
+        object.__setattr__(self, "_labels", labels)
+
+    # ------------------------------------------------------------------ #
+    # Basic constellation geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def order(self) -> int:
+        """Constellation size ``M = 2**bits_per_symbol``."""
+        return 1 << self.bits_per_symbol
+
+    @property
+    def points(self) -> np.ndarray:
+        """All constellation points, indexed by symbol index (bit label value)."""
+        return self._points.copy()
+
+    @property
+    def bits_per_dimension(self) -> int:
+        """Bits mapped onto each of the I and Q dimensions (0 for BPSK's Q)."""
+        if self.name == "BPSK":
+            return 1
+        return self.bits_per_symbol // 2
+
+    @property
+    def scale(self) -> float:
+        """Multiplicative factor applied to the integer grid for normalisation."""
+        if not self.normalized:
+            return 1.0
+        return float(1.0 / np.sqrt(self._average_grid_energy()))
+
+    def _average_grid_energy(self) -> float:
+        raw, _ = _build_constellation(self.name, self.bits_per_symbol, normalized=False)
+        return float(np.mean(np.abs(raw) ** 2))
+
+    @property
+    def amplitude_levels(self) -> np.ndarray:
+        """Per-dimension amplitude levels (scaled), sorted ascending."""
+        if self.name == "BPSK":
+            return np.array([-1.0, 1.0]) * self.scale
+        count = 1 << self.bits_per_dimension
+        return (np.arange(count) * 2.0 - (count - 1)) * self.scale
+
+    # ------------------------------------------------------------------ #
+    # Bit <-> symbol mapping
+    # ------------------------------------------------------------------ #
+
+    def modulate_bits(self, bits: Sequence[int]) -> np.ndarray:
+        """Map a bit sequence to complex symbols (Gray mapping).
+
+        The bit sequence length must be a multiple of :attr:`bits_per_symbol`.
+        """
+        bits = np.asarray(bits, dtype=int).ravel()
+        if bits.size % self.bits_per_symbol:
+            raise ModulationError(
+                f"bit count {bits.size} is not a multiple of "
+                f"bits_per_symbol={self.bits_per_symbol} for {self.name}"
+            )
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ModulationError("bits must be 0 or 1")
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        indices = np.array([bits_to_int(group) for group in groups], dtype=int)
+        return self._points[indices]
+
+    def modulate_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Map symbol indices (bit-label integers) to constellation points."""
+        indices = np.asarray(indices, dtype=int).ravel()
+        if indices.size and (indices.min() < 0 or indices.max() >= self.order):
+            raise ModulationError(
+                f"symbol indices must lie in [0, {self.order - 1}] for {self.name}"
+            )
+        return self._points[indices]
+
+    def demodulate_hard(self, symbols: Sequence[complex]) -> np.ndarray:
+        """Nearest-point hard demodulation; returns the bit sequence."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        bits: List[int] = []
+        for symbol in symbols:
+            index = int(np.argmin(np.abs(self._points - symbol)))
+            bits.extend(int_to_bits(index, self.bits_per_symbol))
+        return np.asarray(bits, dtype=int)
+
+    def symbol_index(self, symbol: complex, tolerance: float = 1e-9) -> int:
+        """Return the index of an exact constellation point.
+
+        Raises :class:`ModulationError` if ``symbol`` is not (within
+        ``tolerance``) a constellation point — use :meth:`nearest_index` for
+        noisy inputs.
+        """
+        distances = np.abs(self._points - symbol)
+        index = int(np.argmin(distances))
+        if distances[index] > tolerance:
+            raise ModulationError(
+                f"{symbol!r} is not a {self.name} constellation point"
+            )
+        return index
+
+    def nearest_index(self, symbol: complex) -> int:
+        """Index of the constellation point closest to ``symbol``."""
+        return int(np.argmin(np.abs(self._points - symbol)))
+
+    def bits_for_index(self, index: int) -> Tuple[int, ...]:
+        """Bit label (MSB first) of a symbol index."""
+        if not 0 <= index < self.order:
+            raise ModulationError(
+                f"symbol index {index} out of range for {self.name}"
+            )
+        return int_to_bits(index, self.bits_per_symbol)
+
+    def random_symbols(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` uniformly random constellation symbols."""
+        indices = rng.integers(0, self.order, size=count)
+        return self._points[indices]
+
+    def random_bits(self, symbol_count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw a random bit sequence for ``symbol_count`` symbols."""
+        return rng.integers(0, 2, size=symbol_count * self.bits_per_symbol)
+
+    def average_energy(self) -> float:
+        """Mean squared magnitude of the constellation."""
+        return float(np.mean(np.abs(self._points) ** 2))
+
+    def minimum_distance(self) -> float:
+        """Minimum Euclidean distance between distinct constellation points."""
+        points = self._points
+        distances = np.abs(points[:, None] - points[None, :])
+        distances[np.diag_indices_from(distances)] = np.inf
+        return float(distances.min())
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _build_constellation(
+    name: str, bits_per_symbol: int, normalized: bool
+) -> Tuple[np.ndarray, Dict[Tuple[int, ...], int]]:
+    """Construct constellation points indexed by bit-label integer."""
+    order = 1 << bits_per_symbol
+    points = np.empty(order, dtype=complex)
+
+    if name == "BPSK":
+        points[0] = -1.0
+        points[1] = 1.0
+    else:
+        bits_per_dim = bits_per_symbol // 2
+        levels = _pam_levels(bits_per_dim)
+        for label in range(order):
+            in_phase_label = label >> bits_per_dim
+            quadrature_label = label & ((1 << bits_per_dim) - 1)
+            points[label] = levels[in_phase_label] + 1j * levels[quadrature_label]
+
+    if normalized:
+        energy = float(np.mean(np.abs(points) ** 2))
+        points = points / np.sqrt(energy)
+
+    labels = {int_to_bits(index, bits_per_symbol): index for index in range(order)}
+    return points, labels
+
+
+@lru_cache(maxsize=None)
+def _cached_modulation(name: str, normalized: bool) -> Modulation:
+    return Modulation(name=name, bits_per_symbol=_BITS_PER_SYMBOL[name], normalized=normalized)
+
+
+def get_modulation(name: str, normalized: bool = True) -> Modulation:
+    """Return the shared :class:`Modulation` instance for a scheme name.
+
+    Accepts case-insensitive aliases such as ``"16qam"`` and ``"16-QAM"``.
+    """
+    key = name.strip().lower().replace(" ", "")
+    if key not in _CANONICAL_NAMES:
+        raise ModulationError(
+            f"unknown modulation {name!r}; available: {sorted(set(_CANONICAL_NAMES.values()))}"
+        )
+    return _cached_modulation(_CANONICAL_NAMES[key], normalized)
+
+
+def available_modulations() -> List[str]:
+    """Names of the modulations studied in the paper, lowest order first."""
+    return ["BPSK", "QPSK", "16-QAM", "64-QAM"]

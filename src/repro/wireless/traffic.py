@@ -1,0 +1,141 @@
+"""Successive channel-use traffic generation for the pipelining study.
+
+Paper Figure 2 sketches a pipelined hybrid architecture in which data from
+successive wireless *channel uses* flow through classical and quantum
+processing stages.  To quantify that design (experiment E-F2 in DESIGN.md)
+the pipeline simulator needs a stream of timestamped detection jobs; this
+module generates it.
+
+Arrival processes supported:
+
+* deterministic — one channel use every ``symbol_period_us`` microseconds,
+  matching a continuously loaded OFDM frame;
+* poisson — exponentially distributed inter-arrival times with the same mean,
+  modelling bursty uplink traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.wireless.channel import ChannelModel, UnitGainRandomPhaseChannel
+from repro.wireless.mimo import MIMOConfig, MIMOTransmission, simulate_transmission
+
+__all__ = ["ChannelUse", "TrafficGenerator"]
+
+
+@dataclass(frozen=True)
+class ChannelUse:
+    """One timestamped detection job entering the processing pipeline.
+
+    Attributes
+    ----------
+    index:
+        Sequence number of the channel use (0-based).
+    arrival_time_us:
+        Arrival time at the baseband processor, in microseconds.
+    transmission:
+        The simulated transmission (instance + ground truth payload).
+    deadline_us:
+        Absolute processing deadline (arrival + turnaround budget), or
+        ``None`` when no deadline applies.
+    """
+
+    index: int
+    arrival_time_us: float
+    transmission: MIMOTransmission
+    deadline_us: Optional[float] = None
+
+    @property
+    def has_deadline(self) -> bool:
+        """Whether this channel use carries a turnaround deadline."""
+        return self.deadline_us is not None
+
+
+class TrafficGenerator:
+    """Generate a stream of :class:`ChannelUse` jobs for the pipeline simulator.
+
+    Parameters
+    ----------
+    config:
+        MIMO link configuration shared by every channel use.
+    symbol_period_us:
+        Mean spacing between successive channel uses, in microseconds.  The
+        default of 71.4 us corresponds to an LTE OFDM symbol (including the
+        normal cyclic prefix); 5G NR numerologies use shorter periods.
+    arrival_process:
+        ``"deterministic"`` or ``"poisson"``.
+    turnaround_budget_us:
+        Per-channel-use processing deadline relative to arrival (the link
+        layer's ARQ turnaround the paper's introduction describes), or
+        ``None`` to disable deadlines.
+    channel_model:
+        Channel model used to draw each channel use's realisation.
+    """
+
+    def __init__(
+        self,
+        config: MIMOConfig,
+        symbol_period_us: float = 71.4,
+        arrival_process: str = "deterministic",
+        turnaround_budget_us: Optional[float] = None,
+        channel_model: Optional[ChannelModel] = None,
+    ) -> None:
+        if symbol_period_us <= 0:
+            raise ConfigurationError(
+                f"symbol_period_us must be positive, got {symbol_period_us}"
+            )
+        if arrival_process not in ("deterministic", "poisson"):
+            raise ConfigurationError(
+                "arrival_process must be 'deterministic' or 'poisson', "
+                f"got {arrival_process!r}"
+            )
+        if turnaround_budget_us is not None and turnaround_budget_us <= 0:
+            raise ConfigurationError(
+                f"turnaround_budget_us must be positive, got {turnaround_budget_us}"
+            )
+        self.config = config
+        self.symbol_period_us = float(symbol_period_us)
+        self.arrival_process = arrival_process
+        self.turnaround_budget_us = turnaround_budget_us
+        self.channel_model = channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
+
+    def generate(self, count: int, rng: RandomState = None) -> List[ChannelUse]:
+        """Materialise ``count`` channel uses as a list."""
+        return list(self.stream(count, rng))
+
+    def stream(self, count: int, rng: RandomState = None) -> Iterator[ChannelUse]:
+        """Yield ``count`` channel uses lazily (useful for long simulations)."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        generator = ensure_rng(rng)
+        arrival_time = 0.0
+        for index in range(count):
+            if index > 0:
+                arrival_time += self._inter_arrival(generator)
+            transmission = simulate_transmission(self.config, self.channel_model, generator)
+            deadline = (
+                arrival_time + self.turnaround_budget_us
+                if self.turnaround_budget_us is not None
+                else None
+            )
+            yield ChannelUse(
+                index=index,
+                arrival_time_us=arrival_time,
+                transmission=transmission,
+                deadline_us=deadline,
+            )
+
+    def _inter_arrival(self, rng: np.random.Generator) -> float:
+        if self.arrival_process == "deterministic":
+            return self.symbol_period_us
+        return float(rng.exponential(self.symbol_period_us))
+
+    def offered_load_bits_per_us(self) -> float:
+        """Average offered payload load in bits per microsecond."""
+        return self.config.bits_per_channel_use / self.symbol_period_us

@@ -1,0 +1,202 @@
+"""Tests for the SVMC and schedule-driven annealing backends."""
+
+import numpy as np
+import pytest
+
+from repro.annealing.backend import broadcast_initial_spins
+from repro.annealing.device import AnnealingFunctions
+from repro.annealing.sa_backend import ScheduleDrivenAnnealingBackend
+from repro.annealing.schedule import forward_anneal_schedule, reverse_anneal_schedule
+from repro.annealing.svmc import SpinVectorMonteCarloBackend
+from repro.exceptions import ConfigurationError
+from repro.qubo.generators import planted_solution_qubo
+from repro.qubo.ising import qubo_to_ising, bits_to_spins, spins_to_bits
+
+BACKENDS = [SpinVectorMonteCarloBackend, ScheduleDrivenAnnealingBackend]
+
+
+def _planted_problem(rng, size=8):
+    planted = rng.integers(0, 2, size=size)
+    qubo = planted_solution_qubo(planted, coupling_strength=0.6, field_strength=1.0, rng=rng)
+    ising = qubo_to_ising(qubo)
+    scale = max(ising.max_abs_coefficient(), 1e-12)
+    return ising.fields / scale, ising.couplings / scale, planted, qubo
+
+
+class TestBroadcastInitialSpins:
+    def test_none(self):
+        assert broadcast_initial_spins(None, 5, 3) is None
+
+    def test_vector_broadcast(self):
+        spins = broadcast_initial_spins(np.array([1, -1, 1]), 4, 3)
+        assert spins.shape == (4, 3)
+        assert np.all(spins[:, 1] == -1)
+
+    def test_matrix_passthrough(self):
+        matrix = np.ones((2, 3), dtype=np.int8)
+        assert broadcast_initial_spins(matrix, 2, 3).shape == (2, 3)
+
+    def test_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            broadcast_initial_spins(np.array([1, -1]), 2, 3)
+
+    def test_wrong_values(self):
+        with pytest.raises(ConfigurationError):
+            broadcast_initial_spins(np.array([0, 1, 1]), 2, 3)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            broadcast_initial_spins(np.ones((3, 3, 3)), 3, 3)
+
+
+@pytest.mark.parametrize("backend_class", BACKENDS)
+class TestBackendBehaviour:
+    def test_output_shape_and_values(self, backend_class, rng):
+        fields, couplings, _, _ = _planted_problem(rng)
+        backend = backend_class(sweeps_per_microsecond=16)
+        spins = backend.run(
+            fields,
+            couplings,
+            forward_anneal_schedule(1.0),
+            num_reads=12,
+            annealing_functions=AnnealingFunctions(),
+            relative_temperature=0.01,
+            rng=np.random.default_rng(1),
+        )
+        assert spins.shape == (12, 8)
+        assert set(np.unique(spins)).issubset({-1, 1})
+
+    def test_forward_anneal_finds_low_energy(self, backend_class, rng):
+        fields, couplings, planted, qubo = _planted_problem(rng)
+        backend = backend_class(sweeps_per_microsecond=32)
+        spins = backend.run(
+            fields,
+            couplings,
+            forward_anneal_schedule(2.0, pause_s=0.4, pause_duration_us=1.0),
+            num_reads=30,
+            annealing_functions=AnnealingFunctions(),
+            relative_temperature=0.01,
+            rng=np.random.default_rng(2),
+        )
+        best_bits = min((spins_to_bits(row) for row in spins), key=qubo.energy)
+        planted_energy = qubo.energy(planted)
+        assert qubo.energy(best_bits) <= planted_energy + 0.25 * abs(planted_energy)
+
+    def test_reverse_anneal_requires_initial_state(self, backend_class, rng):
+        fields, couplings, _, _ = _planted_problem(rng)
+        backend = backend_class()
+        with pytest.raises(ConfigurationError):
+            backend.run(
+                fields,
+                couplings,
+                reverse_anneal_schedule(0.5),
+                num_reads=5,
+                annealing_functions=AnnealingFunctions(),
+                relative_temperature=0.01,
+                rng=np.random.default_rng(3),
+            )
+
+    def test_reverse_anneal_at_high_switch_point_keeps_initial_state(self, backend_class, rng):
+        # With s_p close to 1 fluctuations are too weak to move the state.
+        fields, couplings, planted, _ = _planted_problem(rng)
+        initial = bits_to_spins(1 - planted)  # a deliberately wrong state
+        backend = backend_class(sweeps_per_microsecond=16)
+        spins = backend.run(
+            fields,
+            couplings,
+            reverse_anneal_schedule(0.97, pause_duration_us=0.5),
+            num_reads=10,
+            annealing_functions=AnnealingFunctions(),
+            relative_temperature=0.005,
+            initial_spins=initial,
+            rng=np.random.default_rng(4),
+        )
+        agreement = np.mean(spins == initial[None, :])
+        assert agreement > 0.8
+
+    def test_reverse_anneal_at_low_switch_point_erases_initial_state(self, backend_class, rng):
+        fields, couplings, planted, qubo = _planted_problem(rng)
+        initial = bits_to_spins(1 - planted)
+        backend = backend_class(sweeps_per_microsecond=32)
+        spins = backend.run(
+            fields,
+            couplings,
+            reverse_anneal_schedule(0.05, pause_duration_us=1.0),
+            num_reads=20,
+            annealing_functions=AnnealingFunctions(),
+            relative_temperature=0.02,
+            initial_spins=initial,
+            rng=np.random.default_rng(5),
+        )
+        agreement = np.mean(spins == initial[None, :])
+        assert agreement < 0.8
+
+    def test_zero_spins(self, backend_class):
+        backend = backend_class()
+        spins = backend.run(
+            np.zeros(0),
+            np.zeros((0, 0)),
+            forward_anneal_schedule(1.0),
+            num_reads=3,
+            annealing_functions=AnnealingFunctions(),
+            relative_temperature=0.01,
+            rng=np.random.default_rng(6),
+        )
+        assert spins.shape == (3, 0)
+
+    def test_invalid_reads(self, backend_class, rng):
+        fields, couplings, _, _ = _planted_problem(rng)
+        with pytest.raises(ConfigurationError):
+            backend_class().run(
+                fields,
+                couplings,
+                forward_anneal_schedule(1.0),
+                num_reads=0,
+                annealing_functions=AnnealingFunctions(),
+                relative_temperature=0.01,
+                rng=np.random.default_rng(7),
+            )
+
+    def test_reproducible_with_generator_seed(self, backend_class, rng):
+        fields, couplings, _, _ = _planted_problem(rng)
+        backend = backend_class(sweeps_per_microsecond=8)
+        kwargs = dict(
+            fields=fields,
+            couplings=couplings,
+            schedule=forward_anneal_schedule(1.0),
+            num_reads=6,
+            annealing_functions=AnnealingFunctions(),
+            relative_temperature=0.02,
+        )
+        first = backend.run(rng=np.random.default_rng(11), **kwargs)
+        second = backend.run(rng=np.random.default_rng(11), **kwargs)
+        assert np.array_equal(first, second)
+
+
+class TestBackendConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sweeps_per_microsecond": 0},
+            {"proposal_width": 0.0},
+            {"uniform_fraction": 1.5},
+            {"freeze_scale": 0.0},
+            {"residual_activity": -0.1},
+        ],
+    )
+    def test_svmc_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SpinVectorMonteCarloBackend(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sweeps_per_microsecond": -1},
+            {"fluctuation_gain": -0.5},
+            {"freeze_scale": 0.0},
+            {"residual_activity": 2.0},
+        ],
+    )
+    def test_sa_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ScheduleDrivenAnnealingBackend(**kwargs)

@@ -1,0 +1,120 @@
+"""Tests for the exhaustive, simulated annealing and tabu QUBO solvers."""
+
+import numpy as np
+import pytest
+
+from repro.classical.exhaustive import ExhaustiveSolver
+from repro.classical.simulated_annealing import SimulatedAnnealingSolver
+from repro.classical.tabu import TabuSearchSolver
+from repro.exceptions import ConfigurationError
+from repro.qubo.energy import brute_force_minimum
+from repro.qubo.generators import planted_solution_qubo, random_qubo
+from repro.qubo.model import QUBOModel
+
+
+class TestExhaustiveSolver:
+    def test_finds_exact_optimum(self, random_qubo_8):
+        solution = ExhaustiveSolver().solve(random_qubo_8)
+        assert solution.energy == pytest.approx(brute_force_minimum(random_qubo_8).energy)
+
+    def test_guard(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveSolver(max_variables=5).solve(QUBOModel.empty(6))
+
+    def test_metadata(self, small_qubo):
+        solution = ExhaustiveSolver().solve(small_qubo)
+        assert solution.metadata["evaluated"] == 4
+        assert solution.iterations == 4
+
+
+class TestSimulatedAnnealing:
+    def test_finds_planted_optimum(self, planted_qubo_10):
+        qubo, planted = planted_qubo_10
+        solution = SimulatedAnnealingSolver(num_sweeps=150).solve(qubo, rng=4)
+        assert np.array_equal(solution.assignment, planted)
+
+    def test_close_to_optimum_on_random_model(self, rng):
+        qubo = random_qubo(12, rng=rng)
+        exact = brute_force_minimum(qubo)
+        solution = SimulatedAnnealingSolver(num_sweeps=300).solve(qubo, rng=5)
+        assert solution.energy <= exact.energy + 0.5 * abs(exact.energy)
+
+    def test_reproducible_with_seed(self, random_qubo_8):
+        solver = SimulatedAnnealingSolver(num_sweeps=50)
+        first = solver.solve(random_qubo_8, rng=7)
+        second = solver.solve(random_qubo_8, rng=7)
+        assert np.array_equal(first.assignment, second.assignment)
+
+    def test_initial_state_refinement(self, planted_qubo_10):
+        qubo, planted = planted_qubo_10
+        start = planted.copy()
+        start[0] = 1 - start[0]
+        solver = SimulatedAnnealingSolver(
+            num_sweeps=50, initial_temperature=0.5, initial_state=start
+        )
+        solution = solver.solve(qubo, rng=2)
+        assert solution.energy <= qubo.energy(start) + 1e-9
+
+    def test_empty_model(self):
+        solution = SimulatedAnnealingSolver().solve(QUBOModel.empty(0))
+        assert solution.num_variables == 0
+
+    def test_compute_time_model(self):
+        solver = SimulatedAnnealingSolver(num_sweeps=100, time_per_sweep_us=0.2)
+        solution = solver.solve(QUBOModel.empty(3), rng=1)
+        assert solution.compute_time_us == pytest.approx(20.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sweeps": 0},
+            {"final_temperature": 0.0},
+            {"initial_temperature": -1.0},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingSolver(**kwargs)
+
+    def test_wrong_initial_state_length(self, random_qubo_8):
+        solver = SimulatedAnnealingSolver(initial_state=[0, 1])
+        with pytest.raises(ConfigurationError):
+            solver.solve(random_qubo_8, rng=1)
+
+
+class TestTabuSearch:
+    def test_finds_planted_optimum(self, planted_qubo_10):
+        qubo, planted = planted_qubo_10
+        solution = TabuSearchSolver(max_iterations=200).solve(qubo, rng=3)
+        assert np.array_equal(solution.assignment, planted)
+
+    def test_matches_exact_on_small_random(self, rng):
+        qubo = random_qubo(10, rng=rng)
+        exact = brute_force_minimum(qubo)
+        solution = TabuSearchSolver(max_iterations=400, num_restarts=2).solve(qubo, rng=6)
+        assert solution.energy == pytest.approx(exact.energy, rel=0.05, abs=0.5)
+
+    def test_restarts_counted(self, random_qubo_8):
+        solution = TabuSearchSolver(max_iterations=20, num_restarts=3).solve(random_qubo_8, rng=1)
+        assert solution.iterations == 60
+
+    def test_initial_state_used(self, planted_qubo_10):
+        qubo, planted = planted_qubo_10
+        solution = TabuSearchSolver(max_iterations=30, initial_state=planted).solve(qubo, rng=2)
+        assert solution.energy <= qubo.energy(planted) + 1e-9
+
+    def test_empty_model(self):
+        solution = TabuSearchSolver().solve(QUBOModel.empty(0))
+        assert solution.num_variables == 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_iterations": 0}, {"num_restarts": 0}, {"tenure": -1}]
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TabuSearchSolver(**kwargs)
+
+    def test_wrong_initial_state_length(self, random_qubo_8):
+        solver = TabuSearchSolver(initial_state=[1, 0, 1])
+        with pytest.raises(ConfigurationError):
+            solver.solve(random_qubo_8, rng=1)

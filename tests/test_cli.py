@@ -1,0 +1,44 @@
+"""Tests for the repro-experiments command line interface."""
+
+import pytest
+
+import repro.cli as cli
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["fig99"])
+
+    def test_scale_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["fig3", "--quick", "--paper-scale"])
+
+    def test_parses_quick(self):
+        arguments = cli.build_parser().parse_args(["fig6", "--quick"])
+        assert arguments.experiment == "fig6"
+        assert arguments.quick
+
+
+class TestMain:
+    def test_runs_fig3_quick(self, capsys):
+        exit_code = cli.main(["fig3", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Figure 3" in captured.out
+
+    def test_runs_constraints_quick(self, capsys):
+        exit_code = cli.main(["constraints", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "constraint" in captured.out
+
+    def test_runs_pipeline_quick(self, capsys):
+        exit_code = cli.main(["pipeline", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "pipelined" in captured.out

@@ -1,0 +1,163 @@
+"""Tests for the experiment runners (quick configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import QuantumAnnealerSimulator, SpinVectorMonteCarloBackend
+from repro.experiments import (
+    Figure3Config,
+    Figure6Config,
+    Figure7Config,
+    Figure8Config,
+    HeadlineConfig,
+    InitializerAblationConfig,
+    PipelineStudyConfig,
+    SoftConstraintConfig,
+    format_figure3_table,
+    format_figure6_table,
+    format_figure7_table,
+    format_figure8_table,
+    format_headline_report,
+    format_initializer_table,
+    format_pipeline_table,
+    format_soft_constraint_table,
+    run_figure3,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_headline,
+    run_initializer_ablation,
+    run_pipeline_study,
+    run_soft_constraint_study,
+)
+
+
+@pytest.fixture
+def quick_sampler():
+    backend = SpinVectorMonteCarloBackend(sweeps_per_microsecond=12)
+    return QuantumAnnealerSimulator(backend=backend, seed=5)
+
+
+class TestFigure3:
+    def test_rows_and_table(self):
+        config = Figure3Config(
+            instances_per_point=2,
+            user_counts={"QPSK": (2, 6, 20), "16-QAM": (1, 3, 10)},
+        )
+        rows = run_figure3(config)
+        assert len(rows) == 6
+        for row in rows:
+            assert 0.0 <= row.simplified_ratio <= 1.0
+            assert row.average_fixed_variables >= 0.0
+            assert row.num_variables == row.num_users * (2 if row.modulation == "QPSK" else 4)
+        table = format_figure3_table(rows)
+        assert "simplified ratio" in table
+
+    def test_large_problems_not_simplified(self):
+        config = Figure3Config(instances_per_point=2, user_counts={"16-QAM": (12,)})
+        rows = run_figure3(config)
+        assert rows[0].simplified_ratio == 0.0
+
+    def test_paper_scale_configuration(self):
+        assert Figure3Config.paper_scale().instances_per_point == 50
+
+
+class TestFigure6:
+    def test_quick_run(self, quick_sampler):
+        series = run_figure6(Figure6Config.quick(), sampler=quick_sampler)
+        methods = {row.method for row in series}
+        assert methods == {"FA", "RA-random", "RA-greedy"}
+        for row in series:
+            assert row.num_samples > 0
+            assert abs(sum(row.histogram) - 1.0) < 1e-6
+            assert 0.0 <= row.ground_state_fraction <= 1.0
+        table = format_figure6_table(series)
+        assert "RA-greedy" in table
+
+    def test_modulation_filter(self, quick_sampler):
+        config = Figure6Config(
+            num_variables=8,
+            instances_per_modulation=1,
+            num_reads=60,
+            modulations=("QPSK",),
+        )
+        series = run_figure6(config, sampler=quick_sampler)
+        assert {row.modulation for row in series} == {"QPSK"}
+
+
+class TestFigure7:
+    def test_quick_run(self, quick_sampler):
+        rows = run_figure7(Figure7Config.quick(), sampler=quick_sampler)
+        assert rows, "at least the ground-state bin must be populated"
+        assert rows[0].bin_low_percent == 0.0
+        for row in rows:
+            assert 0.0 <= row.success_probability <= 1.0
+            assert row.mean_initial_quality < Figure7Config.quick().max_bin_percent
+        assert "dE_IS%" in format_figure7_table(rows)
+
+    def test_bins_are_ordered(self, quick_sampler):
+        rows = run_figure7(Figure7Config.quick(), sampler=quick_sampler)
+        lows = [row.bin_low_percent for row in rows]
+        assert lows == sorted(lows)
+
+
+class TestFigure8:
+    def test_quick_run(self, quick_sampler):
+        config = Figure8Config.quick()
+        rows = run_figure8(config, sampler=quick_sampler)
+        methods = {row.method for row in rows}
+        assert {"FA", "RA-greedy", "RA-ground"}.issubset(methods)
+        per_method = {
+            method: [row for row in rows if row.method == method] for method in methods
+        }
+        for method_rows in per_method.values():
+            assert len(method_rows) == len(config.grid())
+        assert "TTS" in format_figure8_table(rows)
+
+    def test_ra_ground_dominates_at_high_switch(self, quick_sampler):
+        rows = run_figure8(Figure8Config.quick(), sampler=quick_sampler)
+        high = max(Figure8Config.quick().grid())
+        ground_row = next(
+            row for row in rows if row.method == "RA-ground" and row.switch_s == high
+        )
+        assert ground_row.success_probability > 0.5
+
+
+class TestHeadline:
+    def test_quick_run(self, quick_sampler):
+        result = run_headline(HeadlineConfig.quick(), sampler=quick_sampler)
+        assert len(result.instance_labels) == 1
+        assert len(result.success_ratios) == 1
+        assert result.median_tts_speedup >= 0.0
+        report = format_headline_report(result)
+        assert "speedup" in report
+
+
+class TestPipelineStudy:
+    def test_quick_run(self):
+        result = run_pipeline_study(PipelineStudyConfig.quick())
+        assert result.pipelined.num_jobs == result.serial.num_jobs
+        assert result.throughput_gain >= 1.0 - 1e-9
+        assert "pipelined" in format_pipeline_table(result)
+
+
+class TestAblations:
+    def test_initializer_ablation_quick(self, quick_sampler):
+        rows = run_initializer_ablation(InitializerAblationConfig.quick(), sampler=quick_sampler)
+        names = [row.initializer for row in rows]
+        assert names == ["greedy", "zero-forcing"]
+        for row in rows:
+            assert row.initial_quality_percent >= -1e-9
+            assert 0.0 <= row.success_probability <= 1.0
+        assert "initializer" in format_initializer_table(rows)
+
+    def test_soft_constraint_quick(self, quick_sampler):
+        rows = run_soft_constraint_study(SoftConstraintConfig.quick(), sampler=quick_sampler)
+        knowledge_kinds = {row.knowledge for row in rows}
+        assert "none" in knowledge_kinds
+        assert "correct" in knowledge_kinds
+        baseline = next(row for row in rows if row.knowledge == "none")
+        assert baseline.optimum_preserved
+        correct = next(row for row in rows if row.knowledge == "correct")
+        assert correct.optimum_preserved
+        assert "strength" in format_soft_constraint_table(rows)

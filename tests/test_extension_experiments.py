@@ -1,0 +1,86 @@
+"""Tests for the extension experiments (SNR study and pause ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import QuantumAnnealerSimulator, SpinVectorMonteCarloBackend
+from repro.experiments import (
+    PauseAblationConfig,
+    SNRStudyConfig,
+    format_pause_table,
+    format_snr_table,
+    run_pause_ablation,
+    run_snr_study,
+)
+
+
+@pytest.fixture
+def quick_sampler():
+    backend = SpinVectorMonteCarloBackend(sweeps_per_microsecond=12)
+    return QuantumAnnealerSimulator(backend=backend, seed=17)
+
+
+class TestSNRStudy:
+    def test_quick_run_structure(self, quick_sampler):
+        config = SNRStudyConfig.quick()
+        rows = run_snr_study(config, sampler=quick_sampler)
+        assert len(rows) == len(config.snr_grid_db)
+        for row in rows:
+            assert row.channel_uses == config.channel_uses_per_point
+            for value in (row.zero_forcing_ber, row.mmse_ber, row.hybrid_ber):
+                assert 0.0 <= value <= 1.0
+        assert "SNR" in format_snr_table(rows)
+
+    def test_high_snr_beats_low_snr_for_linear_detectors(self, quick_sampler):
+        config = SNRStudyConfig(
+            snr_grid_db=(0.0, 20.0), channel_uses_per_point=4, num_reads=40
+        )
+        rows = {row.snr_db: row for row in run_snr_study(config, sampler=quick_sampler)}
+        assert rows[20.0].mmse_ber <= rows[0.0].mmse_ber + 1e-9
+        assert rows[20.0].zero_forcing_ber <= rows[0.0].zero_forcing_ber + 1e-9
+
+    def test_deterministic_given_seed(self, quick_sampler):
+        config = SNRStudyConfig.quick()
+        first = run_snr_study(config, sampler=QuantumAnnealerSimulator(seed=3))
+        second = run_snr_study(config, sampler=QuantumAnnealerSimulator(seed=3))
+        assert [row.zero_forcing_ber for row in first] == [
+            row.zero_forcing_ber for row in second
+        ]
+
+
+class TestPauseAblation:
+    def test_quick_run_structure(self, quick_sampler):
+        config = PauseAblationConfig.quick()
+        rows = run_pause_ablation(config, sampler=quick_sampler)
+        assert len(rows) == 2 * len(config.pause_durations_us)
+        methods = {row.method for row in rows}
+        assert methods == {"FA", "RA-greedy"}
+        assert "pause" in format_pause_table(rows)
+
+    def test_durations_reflect_pause(self, quick_sampler):
+        config = PauseAblationConfig.quick()
+        rows = run_pause_ablation(config, sampler=quick_sampler)
+        fa = {row.pause_duration_us: row for row in rows if row.method == "FA"}
+        assert fa[1.0].duration_us == pytest.approx(fa[0.0].duration_us + 1.0)
+
+    def test_probabilities_valid(self, quick_sampler):
+        rows = run_pause_ablation(PauseAblationConfig.quick(), sampler=quick_sampler)
+        for row in rows:
+            assert 0.0 <= row.success_probability <= 1.0
+            assert row.tts_us > 0 or not np.isfinite(row.tts_us)
+
+
+class TestCLIIntegrationOfExtensions:
+    def test_cli_knows_new_experiments(self):
+        import repro.cli as cli
+
+        arguments = cli.build_parser().parse_args(["snr", "--quick"])
+        assert arguments.experiment == "snr"
+        arguments = cli.build_parser().parse_args(["pause", "--quick"])
+        assert arguments.experiment == "pause"
+
+    def test_cli_runs_pause_quick(self, capsys):
+        import repro.cli as cli
+
+        assert cli.main(["pause", "--quick"]) == 0
+        assert "pausing" in capsys.readouterr().out

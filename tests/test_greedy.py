@@ -1,0 +1,96 @@
+"""Tests for repro.classical.greedy (the paper's GS module)."""
+
+import numpy as np
+import pytest
+
+from repro.classical.greedy import GreedySearchSolver, greedy_field_scores, greedy_search
+from repro.exceptions import ConfigurationError
+from repro.metrics.quality import delta_e_percent
+from repro.qubo.energy import brute_force_minimum
+from repro.qubo.generators import planted_solution_qubo, random_qubo
+from repro.qubo.ising import qubo_to_ising
+from repro.qubo.model import QUBOModel
+
+
+class TestFieldScores:
+    def test_scores_equal_ising_fields(self, random_qubo_8):
+        scores = greedy_field_scores(random_qubo_8)
+        ising = qubo_to_ising(random_qubo_8)
+        assert np.allclose(scores, ising.fields)
+
+
+class TestGreedySearch:
+    def test_solves_trivial_diagonal_model(self):
+        model = QUBOModel(coefficients=np.diag([-1.0, 2.0, -3.0, 0.5]))
+        assert np.array_equal(greedy_search(model), [1, 0, 1, 0])
+
+    def test_finds_planted_field_dominated_model(self, rng):
+        planted = rng.integers(0, 2, size=12)
+        qubo = planted_solution_qubo(planted, coupling_strength=0.2, field_strength=1.0, rng=rng)
+        assert np.array_equal(greedy_search(qubo), planted)
+
+    @pytest.mark.parametrize("order", ["adaptive", "ascending", "descending"])
+    def test_all_orders_return_valid_assignments(self, order, random_qubo_8):
+        assignment = greedy_search(random_qubo_8, order=order)
+        assert assignment.size == 8
+        assert set(np.unique(assignment)).issubset({0, 1})
+
+    def test_invalid_order(self, random_qubo_8):
+        with pytest.raises(ConfigurationError):
+            greedy_search(random_qubo_8, order="sideways")
+
+    def test_deterministic(self, random_qubo_8):
+        assert np.array_equal(greedy_search(random_qubo_8), greedy_search(random_qubo_8))
+
+    def test_empty_model(self):
+        assert greedy_search(QUBOModel.empty(0)).size == 0
+
+    def test_quality_close_to_optimum_on_mimo_instances(self):
+        # The paper observes GS candidates typically score dE_IS% <= ~10%; allow
+        # slack but require the adaptive greedy to stay within 25% on average.
+        from repro.experiments.instances import synthesize_instance
+
+        qualities = []
+        for seed in range(6):
+            bundle = synthesize_instance(4, "16-QAM", seed=seed)
+            assignment = greedy_search(bundle.encoding.qubo)
+            qualities.append(
+                delta_e_percent(bundle.encoding.qubo.energy(assignment), bundle.ground_energy)
+            )
+        assert np.mean(qualities) < 25.0
+
+    def test_never_worse_than_all_zero_on_random_models(self, rng):
+        for _ in range(5):
+            qubo = random_qubo(10, rng=rng)
+            assignment = greedy_search(qubo)
+            assert qubo.energy(assignment) <= qubo.energy(np.zeros(10)) + 1e-9
+
+
+class TestGreedySearchSolver:
+    def test_solution_fields(self, random_qubo_8):
+        solution = GreedySearchSolver().solve(random_qubo_8)
+        assert solution.solver_name == "greedy-search"
+        assert solution.energy == pytest.approx(random_qubo_8.energy(solution.assignment))
+        assert solution.iterations == 8
+
+    def test_modelled_time_linear_in_size(self):
+        solver = GreedySearchSolver(modelled_time_per_variable_us=0.5)
+        solution = solver.solve(QUBOModel.empty(10))
+        assert solution.compute_time_us == pytest.approx(5.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedySearchSolver(modelled_time_per_variable_us=-1.0)
+
+    def test_matches_optimum_on_small_planted(self, planted_qubo_10):
+        qubo, planted = planted_qubo_10
+        solution = GreedySearchSolver().solve(qubo)
+        exact = brute_force_minimum(qubo)
+        assert solution.energy == pytest.approx(exact.energy)
+        assert np.array_equal(solution.assignment, planted)
+
+    def test_solve_many(self, random_qubo_8):
+        solutions = GreedySearchSolver().solve_many(random_qubo_8, 3, rng=1)
+        assert len(solutions) == 3
+        # GS is deterministic, so all restarts agree.
+        assert all(np.array_equal(s.assignment, solutions[0].assignment) for s in solutions)

@@ -1,0 +1,175 @@
+"""Tests for repro.metrics (quality, TTS, statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.annealing.sampleset import SampleRecord, SampleSet
+from repro.exceptions import ConfigurationError
+from repro.metrics.quality import (
+    delta_e_distribution,
+    delta_e_percent,
+    expectation_value,
+    initial_state_quality,
+    success_probability,
+)
+from repro.metrics.statistics import (
+    bootstrap_confidence_interval,
+    histogram_percentiles,
+    summarize_distribution,
+)
+from repro.metrics.tts import time_to_solution, tts_from_sampleset
+from repro.qubo.model import QUBOModel
+
+
+def _sampleset(energies, counts=None, duration=2.0):
+    counts = counts or [1] * len(energies)
+    records = [
+        SampleRecord(assignment=np.array([index % 2], dtype=np.int8), energy=energy, num_occurrences=count)
+        for index, (energy, count) in enumerate(zip(energies, counts))
+    ]
+    # Distinct assignments per record so they are not merged.
+    records = [
+        SampleRecord(
+            assignment=np.array([index], dtype=np.int8),
+            energy=record.energy,
+            num_occurrences=record.num_occurrences,
+        )
+        for index, record in enumerate(records)
+    ]
+    return SampleSet(records, metadata={"schedule_duration_us": duration})
+
+
+class TestDeltaEPercent:
+    def test_ground_state_is_zero(self):
+        assert delta_e_percent(-10.0, -10.0) == 0.0
+
+    def test_zero_energy_sample_is_100(self):
+        assert delta_e_percent(0.0, -10.0) == pytest.approx(100.0)
+
+    def test_halfway(self):
+        assert delta_e_percent(-5.0, -10.0) == pytest.approx(50.0)
+
+    def test_monotone_in_sample_energy(self):
+        values = [delta_e_percent(energy, -10.0) for energy in (-10.0, -7.5, -2.0, 1.0)]
+        assert values == sorted(values)
+
+    def test_requires_negative_ground(self):
+        with pytest.raises(ConfigurationError):
+            delta_e_percent(1.0, 0.0)
+
+    def test_distribution_expands_occurrences(self):
+        sampleset = _sampleset([-10.0, -5.0], counts=[3, 1])
+        distribution = delta_e_distribution(sampleset, -10.0)
+        assert distribution.size == 4
+        assert np.sum(distribution == 0.0) == 3
+
+    def test_distribution_from_plain_energies(self):
+        distribution = delta_e_distribution([-10.0, 0.0], -10.0)
+        assert list(distribution) == [0.0, 100.0]
+
+    def test_initial_state_quality(self):
+        model = QUBOModel(coefficients=np.array([[-4.0]]))
+        assert initial_state_quality(model, [0], -4.0) == pytest.approx(100.0)
+        assert initial_state_quality(model, [1], -4.0) == 0.0
+
+
+class TestSuccessAndExpectation:
+    def test_success_probability(self):
+        sampleset = _sampleset([-10.0, -9.0, -5.0], counts=[2, 2, 6])
+        assert success_probability(sampleset, -10.0) == pytest.approx(0.2)
+
+    def test_expectation_value(self):
+        sampleset = _sampleset([-10.0, 0.0], counts=[1, 3])
+        assert expectation_value(sampleset) == pytest.approx(-2.5)
+
+
+class TestTTS:
+    def test_single_run_sufficient(self):
+        result = time_to_solution(1.0, duration_us=2.0)
+        assert result.tts_us == pytest.approx(2.0)
+        assert result.repeats == 1.0
+
+    def test_never_succeeds(self):
+        result = time_to_solution(0.0, duration_us=2.0)
+        assert not result.is_finite
+
+    def test_known_value(self):
+        # p*=0.5, Ct=99%: repeats = log(0.01)/log(0.5) ~ 6.64
+        result = time_to_solution(0.5, duration_us=1.0, confidence_percent=99.0)
+        assert result.tts_us == pytest.approx(np.log(0.01) / np.log(0.5), rel=1e-6)
+
+    def test_repeats_floored_at_one(self):
+        result = time_to_solution(0.999999, duration_us=3.0)
+        assert result.tts_us == pytest.approx(3.0)
+
+    def test_monotone_in_probability(self):
+        values = [time_to_solution(p, 1.0).tts_us for p in (0.05, 0.2, 0.5, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"success_probability": -0.1, "duration_us": 1.0},
+            {"success_probability": 0.5, "duration_us": 0.0},
+            {"success_probability": 0.5, "duration_us": 1.0, "confidence_percent": 100.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            time_to_solution(**kwargs)
+
+    def test_from_sampleset_uses_metadata_duration(self):
+        sampleset = _sampleset([-10.0, -5.0], counts=[1, 1], duration=4.0)
+        result = tts_from_sampleset(sampleset, ground_energy=-10.0)
+        assert result.duration_us == 4.0
+        assert result.success_probability == pytest.approx(0.5)
+
+    def test_from_sampleset_without_metadata(self):
+        sampleset = SampleSet([SampleRecord(assignment=np.array([1]), energy=-1.0)])
+        with pytest.raises(ConfigurationError):
+            tts_from_sampleset(sampleset, ground_energy=-1.0)
+
+
+class TestStatistics:
+    def test_summary(self):
+        summary = summarize_distribution([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_distribution([])
+
+    def test_bootstrap_contains_point_estimate(self, rng):
+        data = rng.normal(5.0, 1.0, size=200)
+        point, lower, upper = bootstrap_confidence_interval(data, rng=1)
+        assert lower <= point <= upper
+        assert lower == pytest.approx(5.0, abs=0.5)
+
+    def test_bootstrap_custom_statistic(self, rng):
+        data = rng.normal(0.0, 1.0, size=100)
+        point, lower, upper = bootstrap_confidence_interval(data, statistic=np.median, rng=2)
+        assert lower <= point <= upper
+
+    def test_bootstrap_invalid(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([], rng=1)
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([1.0], confidence=1.5, rng=1)
+
+    def test_histogram_percentiles(self):
+        fractions = histogram_percentiles([0.0, 1.0, 5.0, 50.0], [0.0, 2.0, 10.0, 100.0])
+        assert fractions.sum() == pytest.approx(1.0)
+        assert fractions[0] == pytest.approx(0.5)
+
+    def test_histogram_invalid_edges(self):
+        with pytest.raises(ConfigurationError):
+            histogram_percentiles([1.0], [0.0])
+        with pytest.raises(ConfigurationError):
+            histogram_percentiles([1.0], [1.0, 0.5])
+
+    def test_histogram_empty_values(self):
+        assert np.all(histogram_percentiles([], [0.0, 1.0]) == 0)

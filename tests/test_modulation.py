@@ -1,0 +1,158 @@
+"""Tests for repro.wireless.modulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModulationError
+from repro.wireless.modulation import (
+    available_modulations,
+    bits_to_int,
+    get_modulation,
+    gray_code,
+    gray_decode,
+    int_to_bits,
+)
+
+
+class TestGrayCode:
+    @pytest.mark.parametrize("value", range(32))
+    def test_round_trip(self, value):
+        assert gray_decode(gray_code(value)) == value
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        for value in range(63):
+            diff = gray_code(value) ^ gray_code(value + 1)
+            assert bin(diff).count("1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-3)
+
+
+class TestBitHelpers:
+    def test_bits_to_int(self):
+        assert bits_to_int([1, 0, 1]) == 5
+
+    def test_int_to_bits(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+
+    def test_round_trip(self):
+        for value in range(16):
+            assert bits_to_int(int_to_bits(value, 4)) == value
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            bits_to_int([2, 0])
+
+    def test_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+
+class TestGetModulation:
+    def test_canonical_names(self):
+        assert get_modulation("bpsk").name == "BPSK"
+        assert get_modulation("16qam").name == "16-QAM"
+        assert get_modulation("64-QAM").name == "64-QAM"
+        assert get_modulation("QPSK").name == "QPSK"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModulationError):
+            get_modulation("256-QAM")
+
+    def test_shared_instances(self):
+        assert get_modulation("bpsk") is get_modulation("BPSK")
+
+    def test_available_list(self):
+        assert available_modulations() == ["BPSK", "QPSK", "16-QAM", "64-QAM"]
+
+
+class TestConstellationGeometry:
+    @pytest.mark.parametrize(
+        "name,order,bits", [("BPSK", 2, 1), ("QPSK", 4, 2), ("16-QAM", 16, 4), ("64-QAM", 64, 6)]
+    )
+    def test_order_and_bits(self, name, order, bits):
+        modulation = get_modulation(name)
+        assert modulation.order == order
+        assert modulation.bits_per_symbol == bits
+        assert modulation.points.size == order
+
+    @pytest.mark.parametrize("name", ["BPSK", "QPSK", "16-QAM", "64-QAM"])
+    def test_unit_average_energy(self, name):
+        assert get_modulation(name).average_energy() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ["QPSK", "16-QAM", "64-QAM"])
+    def test_points_are_distinct(self, name):
+        points = get_modulation(name).points
+        distances = np.abs(points[:, None] - points[None, :])
+        distances[np.diag_indices_from(distances)] = np.inf
+        assert distances.min() > 1e-6
+
+    def test_unnormalized_grid(self):
+        modulation = get_modulation("16-QAM", normalized=False)
+        reals = sorted(set(np.round(modulation.points.real, 6)))
+        assert reals == [-3.0, -1.0, 1.0, 3.0]
+
+    def test_minimum_distance_positive(self):
+        assert get_modulation("64-QAM").minimum_distance() > 0
+
+
+class TestBitSymbolMapping:
+    @pytest.mark.parametrize("name", ["BPSK", "QPSK", "16-QAM", "64-QAM"])
+    def test_modulate_demodulate_round_trip(self, name, rng):
+        modulation = get_modulation(name)
+        bits = modulation.random_bits(20, rng)
+        symbols = modulation.modulate_bits(bits)
+        assert np.array_equal(modulation.demodulate_hard(symbols), bits)
+
+    def test_gray_property_neighbouring_amplitudes(self):
+        # Adjacent 16-QAM amplitudes along one axis differ in exactly one payload bit.
+        modulation = get_modulation("16-QAM")
+        by_real = {}
+        for index in range(modulation.order):
+            point = modulation.points[index]
+            by_real.setdefault(round(point.imag, 6), []).append((point.real, index))
+        for _, row in by_real.items():
+            row.sort()
+            for (_, first), (_, second) in zip(row, row[1:]):
+                bits_first = modulation.bits_for_index(first)
+                bits_second = modulation.bits_for_index(second)
+                differing = sum(a != b for a, b in zip(bits_first, bits_second))
+                assert differing == 1
+
+    def test_modulate_wrong_length_raises(self):
+        with pytest.raises(ModulationError):
+            get_modulation("16-QAM").modulate_bits([1, 0, 1])
+
+    def test_modulate_invalid_bits(self):
+        with pytest.raises(ModulationError):
+            get_modulation("QPSK").modulate_bits([0, 2])
+
+    def test_symbol_index_exact(self):
+        modulation = get_modulation("QPSK")
+        for index in range(modulation.order):
+            assert modulation.symbol_index(modulation.points[index]) == index
+
+    def test_symbol_index_rejects_off_grid(self):
+        with pytest.raises(ModulationError):
+            get_modulation("QPSK").symbol_index(0.1 + 0.2j)
+
+    def test_nearest_index(self):
+        modulation = get_modulation("BPSK")
+        assert modulation.nearest_index(0.9) == modulation.symbol_index(modulation.points[1])
+
+    def test_random_symbols_on_constellation(self, rng):
+        modulation = get_modulation("64-QAM")
+        symbols = modulation.random_symbols(50, rng)
+        for symbol in symbols:
+            modulation.symbol_index(symbol)
+
+    def test_bits_for_index_out_of_range(self):
+        with pytest.raises(ModulationError):
+            get_modulation("QPSK").bits_for_index(4)
+
+    def test_modulate_indices_out_of_range(self):
+        with pytest.raises(ModulationError):
+            get_modulation("QPSK").modulate_indices([4])

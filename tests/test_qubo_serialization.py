@@ -1,0 +1,44 @@
+"""Tests for repro.qubo.serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.qubo.generators import random_qubo
+from repro.qubo.serialization import qubo_from_dict, qubo_from_json, qubo_to_dict, qubo_to_json
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_energies(self, rng):
+        qubo = random_qubo(7, rng=rng)
+        restored = qubo_from_dict(qubo_to_dict(qubo))
+        for _ in range(10):
+            bits = rng.integers(0, 2, size=7)
+            assert restored.energy(bits) == pytest.approx(qubo.energy(bits))
+
+    def test_round_trip_preserves_names_and_offset(self, small_qubo):
+        model = small_qubo.relabel(["alpha", "beta"])
+        model = type(model)(coefficients=model.coefficients, offset=1.25, variable_names=model.variable_names)
+        restored = qubo_from_dict(qubo_to_dict(model))
+        assert restored.variable_names == ("alpha", "beta")
+        assert restored.offset == pytest.approx(1.25)
+
+    def test_zero_entries_not_stored(self, small_qubo):
+        payload = qubo_to_dict(small_qubo)
+        assert "1,0" not in payload["quadratic"]
+        assert len(payload["quadratic"]) == 1
+
+
+class TestJsonRoundTrip:
+    def test_valid_json(self, random_qubo_8):
+        text = qubo_to_json(random_qubo_8)
+        json.loads(text)
+
+    def test_round_trip(self, random_qubo_8, rng):
+        restored = qubo_from_json(qubo_to_json(random_qubo_8))
+        bits = rng.integers(0, 2, size=8)
+        assert restored.energy(bits) == pytest.approx(random_qubo_8.energy(bits))
+
+    def test_indentation_option(self, small_qubo):
+        assert "\n" in qubo_to_json(small_qubo, indent=2)

@@ -1,0 +1,150 @@
+"""Tests for the QuantumAnnealerSimulator front-end."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    DeviceModel,
+    QuantumAnnealerSimulator,
+    ScheduleDrivenAnnealingBackend,
+    SpinVectorMonteCarloBackend,
+    forward_anneal_schedule,
+    reverse_anneal_schedule,
+)
+from repro.exceptions import ConfigurationError
+from repro.qubo.energy import brute_force_minimum
+from repro.qubo.generators import planted_solution_qubo
+from repro.qubo.ising import qubo_to_ising
+
+
+@pytest.fixture
+def planted_qubo_and_state(rng):
+    planted = rng.integers(0, 2, size=6)
+    qubo = planted_solution_qubo(planted, coupling_strength=0.6, field_strength=1.0, rng=rng)
+    return qubo, planted
+
+
+class TestSampleQubo:
+    def test_forward_anneal_sampleset(self, planted_qubo_and_state, fast_sampler):
+        qubo, planted = planted_qubo_and_state
+        sampleset = fast_sampler.forward_anneal(qubo, num_reads=40)
+        assert sampleset.num_reads == 40
+        assert sampleset.num_variables == 6
+        assert sampleset.metadata["schedule_name"] == "FA"
+        assert sampleset.metadata["backend"] == "spin-vector-monte-carlo"
+
+    def test_energies_match_qubo(self, planted_qubo_and_state, fast_sampler):
+        qubo, _ = planted_qubo_and_state
+        sampleset = fast_sampler.forward_anneal(qubo, num_reads=30)
+        for record in sampleset:
+            assert record.energy == pytest.approx(qubo.energy(record.assignment))
+
+    def test_forward_anneal_finds_planted_state(self, planted_qubo_and_state, fast_sampler):
+        qubo, planted = planted_qubo_and_state
+        sampleset = fast_sampler.forward_anneal(qubo, num_reads=100, pause_s=0.4)
+        ground = qubo.energy(planted)
+        assert sampleset.lowest_energy() == pytest.approx(ground)
+        assert sampleset.success_probability(ground) > 0.1
+
+    def test_reverse_anneal_requires_initial_state(self, planted_qubo_and_state, fast_sampler):
+        qubo, _ = planted_qubo_and_state
+        with pytest.raises(ConfigurationError):
+            fast_sampler.sample_qubo(qubo, reverse_anneal_schedule(0.5), num_reads=10)
+
+    def test_reverse_anneal_from_ground_state_stays(self, planted_qubo_and_state, fast_sampler):
+        qubo, planted = planted_qubo_and_state
+        sampleset = fast_sampler.reverse_anneal(qubo, planted, switch_s=0.8, num_reads=50)
+        assert sampleset.success_probability(qubo.energy(planted)) > 0.5
+
+    def test_forward_reverse_anneal_runs(self, planted_qubo_and_state, fast_sampler):
+        qubo, planted = planted_qubo_and_state
+        sampleset = fast_sampler.forward_reverse_anneal(
+            qubo, turning_s=0.7, switch_s=0.4, num_reads=30
+        )
+        assert sampleset.num_reads == 30
+        assert sampleset.metadata["schedule_name"] == "FR"
+
+    def test_invalid_num_reads(self, planted_qubo_and_state, fast_sampler):
+        qubo, _ = planted_qubo_and_state
+        with pytest.raises(ConfigurationError):
+            fast_sampler.forward_anneal(qubo, num_reads=0)
+
+    def test_reproducible_with_rng(self, planted_qubo_and_state):
+        qubo, _ = planted_qubo_and_state
+        sampler = QuantumAnnealerSimulator(
+            backend=SpinVectorMonteCarloBackend(sweeps_per_microsecond=8), seed=1
+        )
+        first = sampler.forward_anneal(qubo, num_reads=20, rng=5)
+        second = sampler.forward_anneal(qubo, num_reads=20, rng=5)
+        assert np.array_equal(
+            first.energies(expanded=True), second.energies(expanded=True)
+        )
+
+    def test_qpu_access_time_in_metadata(self, planted_qubo_and_state, fast_sampler):
+        qubo, _ = planted_qubo_and_state
+        sampleset = fast_sampler.forward_anneal(qubo, num_reads=10)
+        schedule = forward_anneal_schedule(1.0)
+        expected = fast_sampler.device.qpu_access_time_us(schedule, 10)
+        assert sampleset.metadata["qpu_access_time_us"] == pytest.approx(expected)
+
+
+class TestSampleIsing:
+    def test_ising_energies(self, planted_qubo_and_state, fast_sampler):
+        qubo, _ = planted_qubo_and_state
+        ising = qubo_to_ising(qubo)
+        sampleset = fast_sampler.sample_ising(ising, forward_anneal_schedule(1.0), num_reads=20)
+        for record in sampleset:
+            spins = 2 * record.assignment.astype(int) - 1
+            assert record.energy == pytest.approx(ising.energy(spins))
+
+
+class TestControlNoise:
+    def test_noise_changes_samples_but_energies_still_evaluated_on_clean_model(
+        self, planted_qubo_and_state
+    ):
+        qubo, _ = planted_qubo_and_state
+        noisy_device = DeviceModel(field_noise_sigma=0.2, coupling_noise_sigma=0.2)
+        sampler = QuantumAnnealerSimulator(
+            device=noisy_device,
+            backend=SpinVectorMonteCarloBackend(sweeps_per_microsecond=8),
+            seed=3,
+        )
+        sampleset = sampler.forward_anneal(qubo, num_reads=20)
+        for record in sampleset:
+            assert record.energy == pytest.approx(qubo.energy(record.assignment))
+
+
+class TestEmbeddedSampling:
+    def test_embedded_run_returns_logical_samples(self, planted_qubo_and_state):
+        qubo, planted = planted_qubo_and_state
+        sampler = QuantumAnnealerSimulator(
+            backend=ScheduleDrivenAnnealingBackend(sweeps_per_microsecond=8),
+            use_embedding=True,
+            seed=7,
+        )
+        sampleset = sampler.forward_anneal(qubo, num_reads=15, pause_s=0.4)
+        assert sampleset.num_variables == qubo.num_variables
+        assert sampleset.metadata["embedded"] is True
+        assert "chain_strength" in sampleset.metadata
+        assert sampleset.metadata["max_chain_length"] >= 2
+
+    def test_embedded_reverse_anneal(self, planted_qubo_and_state):
+        qubo, planted = planted_qubo_and_state
+        sampler = QuantumAnnealerSimulator(
+            backend=ScheduleDrivenAnnealingBackend(sweeps_per_microsecond=8),
+            use_embedding=True,
+            seed=9,
+        )
+        sampleset = sampler.reverse_anneal(qubo, planted, switch_s=0.85, num_reads=15)
+        assert sampleset.success_probability(qubo.energy(planted)) > 0.3
+
+    def test_embedded_finds_reasonable_energy(self, planted_qubo_and_state):
+        qubo, planted = planted_qubo_and_state
+        exact = brute_force_minimum(qubo)
+        sampler = QuantumAnnealerSimulator(
+            backend=ScheduleDrivenAnnealingBackend(sweeps_per_microsecond=16),
+            use_embedding=True,
+            seed=11,
+        )
+        sampleset = sampler.forward_anneal(qubo, num_reads=40, pause_s=0.4)
+        assert sampleset.lowest_energy() <= exact.energy + 0.5 * abs(exact.energy)

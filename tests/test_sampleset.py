@@ -1,0 +1,121 @@
+"""Tests for repro.annealing.sampleset."""
+
+import numpy as np
+import pytest
+
+from repro.annealing.sampleset import SampleRecord, SampleSet
+from repro.exceptions import DimensionError
+
+
+def _record(bits, energy, count=1, breaks=0.0):
+    return SampleRecord(
+        assignment=np.asarray(bits, dtype=np.int8),
+        energy=energy,
+        num_occurrences=count,
+        chain_break_fraction=breaks,
+    )
+
+
+class TestSampleRecord:
+    def test_key(self):
+        assert _record([1, 0, 1], -1.0).key == (1, 0, 1)
+
+    def test_invalid_occurrences(self):
+        with pytest.raises(ValueError):
+            _record([1], 0.0, count=0)
+
+    def test_invalid_chain_breaks(self):
+        with pytest.raises(ValueError):
+            _record([1], 0.0, breaks=1.5)
+
+
+class TestSampleSetAggregation:
+    def test_duplicates_merged(self):
+        sampleset = SampleSet([_record([0, 1], -1.0), _record([0, 1], -1.0, count=2)])
+        assert len(sampleset) == 1
+        assert sampleset.num_reads == 3
+
+    def test_sorted_by_energy(self):
+        sampleset = SampleSet([_record([1, 1], 2.0), _record([0, 0], -3.0), _record([1, 0], 0.0)])
+        energies = sampleset.energies()
+        assert list(energies) == sorted(energies)
+        assert sampleset.first.energy == -3.0
+
+    def test_chain_break_weighted_merge(self):
+        sampleset = SampleSet(
+            [_record([1], 0.0, count=1, breaks=0.0), _record([1], 0.0, count=3, breaks=1.0)]
+        )
+        assert sampleset.records[0].chain_break_fraction == pytest.approx(0.75)
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(DimensionError):
+            SampleSet([_record([1], 0.0), _record([1, 0], 0.0)])
+
+    def test_from_arrays(self):
+        sampleset = SampleSet.from_arrays(np.array([[0, 1], [0, 1], [1, 1]]), [1.0, 1.0, 2.0])
+        assert len(sampleset) == 2
+        assert sampleset.num_reads == 3
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            SampleSet.from_arrays(np.array([[0, 1]]), [1.0, 2.0])
+
+
+class TestSampleSetStatistics:
+    @pytest.fixture
+    def sampleset(self):
+        return SampleSet(
+            [
+                _record([0, 0], -5.0, count=2),
+                _record([0, 1], -3.0, count=3),
+                _record([1, 1], 1.0, count=5),
+            ],
+            metadata={"schedule_duration_us": 2.0},
+        )
+
+    def test_num_reads_and_variables(self, sampleset):
+        assert sampleset.num_reads == 10
+        assert sampleset.num_variables == 2
+
+    def test_lowest_energy(self, sampleset):
+        assert sampleset.lowest_energy() == -5.0
+
+    def test_expanded_energies(self, sampleset):
+        expanded = sampleset.energies(expanded=True)
+        assert expanded.size == 10
+        assert np.sum(expanded == -5.0) == 2
+
+    def test_success_probability(self, sampleset):
+        assert sampleset.success_probability(-5.0) == pytest.approx(0.2)
+        assert sampleset.success_probability(-10.0) == 0.0
+
+    def test_expectation(self, sampleset):
+        expected = (2 * -5.0 + 3 * -3.0 + 5 * 1.0) / 10
+        assert sampleset.expectation_energy() == pytest.approx(expected)
+
+    def test_truncate(self, sampleset):
+        truncated = sampleset.truncate(1)
+        assert len(truncated) == 1
+        assert truncated.first.energy == -5.0
+
+    def test_merge(self, sampleset):
+        other = SampleSet([_record([0, 0], -5.0)], metadata={"extra": 1})
+        merged = sampleset.merge(other)
+        assert merged.num_reads == 11
+        assert merged.metadata["schedule_duration_us"] == 2.0
+        assert merged.metadata["extra"] == 1
+
+    def test_empty_set_behaviour(self):
+        empty = SampleSet([])
+        assert len(empty) == 0
+        assert empty.num_reads == 0
+        assert empty.success_probability(0.0) == 0.0
+        with pytest.raises(IndexError):
+            _ = empty.first
+        with pytest.raises(ValueError):
+            empty.expectation_energy()
+
+    def test_iteration_and_indexing(self, sampleset):
+        records = list(sampleset)
+        assert records[0] is sampleset[0]
+        assert len(records) == 3

@@ -1,0 +1,80 @@
+"""Tests for repro.wireless.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wireless.mimo import MIMOConfig
+from repro.wireless.traffic import TrafficGenerator
+
+
+@pytest.fixture
+def config():
+    return MIMOConfig(num_users=2, modulation="QPSK")
+
+
+class TestTrafficGenerator:
+    def test_deterministic_arrivals(self, config):
+        generator = TrafficGenerator(config, symbol_period_us=10.0)
+        uses = generator.generate(5, rng=1)
+        arrivals = [use.arrival_time_us for use in uses]
+        assert arrivals == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_poisson_arrivals_increase(self, config):
+        generator = TrafficGenerator(config, symbol_period_us=10.0, arrival_process="poisson")
+        uses = generator.generate(20, rng=2)
+        arrivals = [use.arrival_time_us for use in uses]
+        assert all(later >= earlier for earlier, later in zip(arrivals, arrivals[1:]))
+
+    def test_poisson_mean_rate(self, config):
+        generator = TrafficGenerator(config, symbol_period_us=10.0, arrival_process="poisson")
+        uses = generator.generate(400, rng=3)
+        inter = np.diff([use.arrival_time_us for use in uses])
+        assert np.mean(inter) == pytest.approx(10.0, rel=0.2)
+
+    def test_indices_sequential(self, config):
+        uses = TrafficGenerator(config).generate(4, rng=1)
+        assert [use.index for use in uses] == [0, 1, 2, 3]
+
+    def test_deadlines(self, config):
+        generator = TrafficGenerator(config, symbol_period_us=10.0, turnaround_budget_us=50.0)
+        uses = generator.generate(3, rng=1)
+        assert all(use.has_deadline for use in uses)
+        assert uses[1].deadline_us == pytest.approx(60.0)
+
+    def test_no_deadline_by_default(self, config):
+        uses = TrafficGenerator(config).generate(2, rng=1)
+        assert not uses[0].has_deadline
+
+    def test_each_use_has_fresh_channel(self, config):
+        uses = TrafficGenerator(config).generate(2, rng=1)
+        first = uses[0].transmission.instance.channel_matrix
+        second = uses[1].transmission.instance.channel_matrix
+        assert not np.allclose(first, second)
+
+    def test_offered_load(self, config):
+        generator = TrafficGenerator(config, symbol_period_us=4.0)
+        assert generator.offered_load_bits_per_us() == pytest.approx(1.0)
+
+    def test_reproducible_stream(self, config):
+        first = TrafficGenerator(config).generate(3, rng=9)
+        second = TrafficGenerator(config).generate(3, rng=9)
+        assert np.allclose(
+            first[2].transmission.instance.received, second[2].transmission.instance.received
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"symbol_period_us": 0.0},
+            {"arrival_process": "bursty"},
+            {"turnaround_budget_us": -1.0},
+        ],
+    )
+    def test_invalid_configuration(self, config, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrafficGenerator(config, **kwargs)
+
+    def test_negative_count_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            TrafficGenerator(config).generate(-1)

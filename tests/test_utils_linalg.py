@@ -1,0 +1,78 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import (
+    complex_to_real_stacked,
+    complex_vector_to_real,
+    gram_matrix,
+    hermitian,
+    is_hermitian,
+    real_to_complex_stacked,
+    real_vector_to_complex,
+    vector_norm_squared,
+)
+
+
+class TestStackedMatrix:
+    def test_shape(self, rng):
+        matrix = rng.standard_normal((3, 4)) + 1j * rng.standard_normal((3, 4))
+        stacked = complex_to_real_stacked(matrix)
+        assert stacked.shape == (6, 8)
+
+    def test_product_equivalence(self, rng):
+        matrix = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        vector = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+        complex_product = matrix @ vector
+        real_product = complex_to_real_stacked(matrix) @ complex_vector_to_real(vector)
+        assert np.allclose(real_vector_to_complex(real_product), complex_product)
+
+    def test_round_trip(self, rng):
+        matrix = rng.standard_normal((2, 5)) + 1j * rng.standard_normal((2, 5))
+        assert np.allclose(real_to_complex_stacked(complex_to_real_stacked(matrix)), matrix)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            complex_to_real_stacked(np.zeros(3))
+
+    def test_rejects_odd_dimensions(self):
+        with pytest.raises(ValueError):
+            real_to_complex_stacked(np.zeros((3, 4)))
+
+
+class TestVectors:
+    def test_vector_round_trip(self, rng):
+        vector = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+        assert np.allclose(real_vector_to_complex(complex_vector_to_real(vector)), vector)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            real_vector_to_complex(np.zeros(5))
+
+    def test_norm_squared_real(self):
+        assert vector_norm_squared(np.array([3.0, 4.0])) == pytest.approx(25.0)
+
+    def test_norm_squared_complex(self):
+        assert vector_norm_squared(np.array([1 + 1j, 1 - 1j])) == pytest.approx(4.0)
+
+
+class TestHermitian:
+    def test_hermitian_transpose(self, rng):
+        matrix = rng.standard_normal((2, 3)) + 1j * rng.standard_normal((2, 3))
+        assert np.allclose(hermitian(matrix), np.conjugate(matrix).T)
+
+    def test_is_hermitian_true(self, rng):
+        matrix = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        assert is_hermitian(matrix @ hermitian(matrix))
+
+    def test_is_hermitian_false(self, rng):
+        matrix = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        assert not is_hermitian(matrix + 1j)
+
+    def test_non_square_is_not_hermitian(self):
+        assert not is_hermitian(np.zeros((2, 3)))
+
+    def test_gram_matrix_is_hermitian(self, rng):
+        matrix = rng.standard_normal((5, 3)) + 1j * rng.standard_normal((5, 3))
+        assert is_hermitian(gram_matrix(matrix))

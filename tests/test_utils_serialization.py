@@ -1,0 +1,59 @@
+"""Tests for repro.utils.serialization."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import from_jsonable, to_jsonable
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+    weight: float
+
+
+class TestToJsonable:
+    def test_builtin_passthrough(self):
+        assert to_jsonable({"a": 1, "b": [True, None, "x"]}) == {"a": 1, "b": [True, None, "x"]}
+
+    def test_numpy_scalars(self):
+        payload = to_jsonable({"i": np.int64(3), "f": np.float32(1.5), "b": np.bool_(True)})
+        assert payload == {"i": 3, "f": 1.5, "b": True}
+        json.dumps(payload)
+
+    def test_real_array_round_trip(self):
+        array = np.arange(6, dtype=float).reshape(2, 3)
+        restored = from_jsonable(json.loads(json.dumps(to_jsonable(array))))
+        assert np.allclose(restored, array)
+
+    def test_complex_array_round_trip(self):
+        array = np.array([1 + 2j, -3j])
+        restored = from_jsonable(to_jsonable(array))
+        assert np.allclose(restored, array)
+
+    def test_complex_scalar_round_trip(self):
+        restored = from_jsonable(to_jsonable(2 - 5j))
+        assert restored == 2 - 5j
+
+    def test_dataclass(self):
+        sample = _Sample(name="x", values=np.array([1.0, 2.0]), weight=0.5)
+        payload = to_jsonable(sample)
+        assert payload["name"] == "x"
+        assert from_jsonable(payload)["weight"] == 0.5
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({1, 2, 3})) == [1, 2, 3]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_nested_structure_serialisable(self):
+        nested = {"results": [{"energies": np.array([1.0, -2.0])}, {"energies": np.array([])}]}
+        text = json.dumps(to_jsonable(nested))
+        restored = from_jsonable(json.loads(text))
+        assert np.allclose(restored["results"][0]["energies"], [1.0, -2.0])

@@ -1,0 +1,61 @@
+"""Tests for repro.wireless.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.wireless.metrics import bit_error_rate, error_vector_magnitude, symbol_error_rate
+
+
+class TestBitErrorRate:
+    def test_zero_errors(self):
+        assert bit_error_rate([0, 1, 1, 0], [0, 1, 1, 0]) == 0.0
+
+    def test_all_errors(self):
+        assert bit_error_rate([0, 0], [1, 1]) == 1.0
+
+    def test_partial(self):
+        assert bit_error_rate([0, 1, 0, 1], [0, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert bit_error_rate([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            bit_error_rate([0, 1], [0])
+
+
+class TestSymbolErrorRate:
+    def test_exact_match(self):
+        symbols = np.array([1 + 1j, -1 - 1j])
+        assert symbol_error_rate(symbols, symbols.copy()) == 0.0
+
+    def test_small_numerical_noise_ignored(self):
+        symbols = np.array([1 + 1j, -1 - 1j])
+        assert symbol_error_rate(symbols, symbols + 1e-12) == 0.0
+
+    def test_detects_errors(self):
+        assert symbol_error_rate([1 + 1j, -1 + 1j], [1 + 1j, 1 + 1j]) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            symbol_error_rate([1j], [1j, 2j])
+
+
+class TestEVM:
+    def test_zero_for_identical(self):
+        assert error_vector_magnitude([1 + 0j, 0 + 1j], [1 + 0j, 0 + 1j]) == 0.0
+
+    def test_known_value(self):
+        # One symbol off by its own magnitude -> EVM = sqrt(1/2).
+        assert error_vector_magnitude([1 + 0j, 1 + 0j], [1 + 0j, 0 + 0j]) == pytest.approx(
+            np.sqrt(0.5)
+        )
+
+    def test_zero_power_reference_rejected(self):
+        with pytest.raises(ValueError):
+            error_vector_magnitude([0j], [1 + 0j])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            error_vector_magnitude([1j, 2j], [1j])
