@@ -38,6 +38,7 @@ from repro.annealing.embedding import (
     resolve_chain_breaks,
 )
 from repro.annealing.device import DeviceModel, AnnealingFunctions
+from repro.annealing.backend import AnnealingBackend, pad_problem_batch
 from repro.annealing.svmc import SpinVectorMonteCarloBackend
 from repro.annealing.sa_backend import ScheduleDrivenAnnealingBackend
 from repro.annealing.sampler import QuantumAnnealerSimulator
@@ -59,6 +60,8 @@ __all__ = [
     "resolve_chain_breaks",
     "DeviceModel",
     "AnnealingFunctions",
+    "AnnealingBackend",
+    "pad_problem_batch",
     "SpinVectorMonteCarloBackend",
     "ScheduleDrivenAnnealingBackend",
     "QuantumAnnealerSimulator",

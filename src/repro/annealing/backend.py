@@ -19,15 +19,16 @@ performs a local stochastic search around its current state.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.annealing.device import AnnealingFunctions
 from repro.annealing.schedule import AnnealSchedule
 from repro.exceptions import ConfigurationError
+from repro.utils.rng import BatchRandomState, ensure_rng_batch
 
-__all__ = ["AnnealingBackend", "broadcast_initial_spins"]
+__all__ = ["AnnealingBackend", "broadcast_initial_spins", "pad_problem_batch"]
 
 
 def broadcast_initial_spins(
@@ -57,6 +58,45 @@ def broadcast_initial_spins(
     if spins.size and not np.all(np.isin(spins, (-1, 1))):
         raise ConfigurationError("initial spins must be -1 or +1")
     return spins.copy()
+
+
+def pad_problem_batch(
+    fields: Sequence[np.ndarray], couplings: Sequence[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stack variable-size Ising problems into common-size padded arrays.
+
+    Returns ``(padded_fields, padded_symmetric, mask, sizes)`` where
+    ``padded_fields`` has shape ``(B, N_max)``, ``padded_symmetric`` has shape
+    ``(B, N_max, N_max)`` and holds ``J + J.T`` per instance, ``mask`` is a
+    boolean ``(B, N_max)`` array marking real (non-padding) spins, and
+    ``sizes`` records each instance's true spin count.  Padding lanes carry
+    zero fields and couplings, so they can never change the energy of — or the
+    dynamics on — real spins.
+    """
+    if len(fields) != len(couplings):
+        raise ConfigurationError(
+            f"{len(fields)} field vectors supplied for {len(couplings)} coupling matrices"
+        )
+    batch = len(fields)
+    clean_fields = [np.asarray(vector, dtype=float).ravel() for vector in fields]
+    clean_couplings = [np.asarray(matrix, dtype=float) for matrix in couplings]
+    sizes = np.array([vector.size for vector in clean_fields], dtype=int)
+    for index, (vector, matrix) in enumerate(zip(clean_fields, clean_couplings)):
+        if matrix.shape != (vector.size, vector.size):
+            raise ConfigurationError(
+                f"instance {index}: couplings have shape {matrix.shape}, "
+                f"expected {(vector.size, vector.size)}"
+            )
+    max_size = int(sizes.max()) if batch else 0
+    padded_fields = np.zeros((batch, max_size))
+    padded_symmetric = np.zeros((batch, max_size, max_size))
+    mask = np.zeros((batch, max_size), dtype=bool)
+    for index, (vector, matrix) in enumerate(zip(clean_fields, clean_couplings)):
+        size = vector.size
+        padded_fields[index, :size] = vector
+        padded_symmetric[index, :size, :size] = matrix + matrix.T
+        mask[index, :size] = True
+    return padded_fields, padded_symmetric, mask, sizes
 
 
 class AnnealingBackend(abc.ABC):
@@ -103,3 +143,67 @@ class AnnealingBackend(abc.ABC):
         numpy.ndarray
             Array of shape (num_reads, num_spins) with entries +/-1.
         """
+
+    def run_batch(
+        self,
+        fields: Sequence[np.ndarray],
+        couplings: Sequence[np.ndarray],
+        schedule: AnnealSchedule,
+        num_reads: int,
+        annealing_functions: AnnealingFunctions,
+        relative_temperature: float,
+        initial_spins: Optional[Sequence[Optional[np.ndarray]]] = None,
+        rng: BatchRandomState = None,
+    ) -> List[np.ndarray]:
+        """Run one anneal schedule on ``B`` independent Ising problems.
+
+        The batch shares a schedule, device functions and temperature; each
+        instance keeps its own size, coefficients and (optional) initial
+        state.  Instance ``b`` draws exclusively from per-instance child
+        generator ``b`` (see :func:`repro.utils.rng.ensure_rng_batch`), so the
+        result list is bitwise-identical to calling :meth:`run` once per
+        instance with those children — regardless of how instances are grouped
+        into batches.
+
+        This default implementation is exactly that sequential loop.  Backends
+        with a vectorised multi-instance kernel override it; the contract
+        (per-instance child streams, identical results) must be preserved.
+
+        Parameters
+        ----------
+        fields, couplings:
+            Per-instance normalised Ising coefficients; instances may have
+            different sizes (they are padded internally by batched kernels).
+        initial_spins:
+            Optional per-instance initial states (``None`` entries allowed for
+            forward schedules).
+        rng:
+            A root seed (spawned into one child per instance) or an explicit
+            sequence of per-instance generators.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            One ``(num_reads, num_spins_b)`` array of +/-1 spins per instance.
+        """
+        batch = len(fields)
+        if initial_spins is not None and len(initial_spins) != batch:
+            raise ConfigurationError(
+                f"{len(initial_spins)} initial states supplied for a batch of {batch}"
+            )
+        children = ensure_rng_batch(rng, batch)
+        results: List[np.ndarray] = []
+        for index in range(batch):
+            results.append(
+                self.run(
+                    fields=fields[index],
+                    couplings=couplings[index],
+                    schedule=schedule,
+                    num_reads=num_reads,
+                    annealing_functions=annealing_functions,
+                    relative_temperature=relative_temperature,
+                    initial_spins=None if initial_spins is None else initial_spins[index],
+                    rng=children[index],
+                )
+            )
+        return results

@@ -13,19 +13,32 @@ At s = 1 the dynamics are a near-greedy descent at the device temperature; at
 s = 0 flips are essentially free and the state randomises; in between the
 backend performs a local stochastic search whose radius grows as s decreases —
 the same mechanism the paper's reverse-annealing discussion relies on.
+
+Paper linkage
+-------------
+This backend is the workhorse surrogate behind the paper's evaluation
+(Section 4.2, Figures 6-8): the reverse-anneal schedules of Figure 5 map
+directly onto its effective-temperature trajectory, and its freeze-out model
+reproduces the "too late to repair a random state" behaviour Figure 6's
+RA(random) series depends on.  It is also the backend the batched
+multi-instance engine (Figure 2's requirement that many channel uses be in
+flight at once) is benchmarked on: :meth:`run_batch` executes B independent
+QUBO instances as one ``(B, num_reads, num_spins)`` vectorised Metropolis
+computation while drawing each instance's randomness from its own child
+generator, so batched and sequential results are bitwise-identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.annealing.backend import AnnealingBackend, broadcast_initial_spins
+from repro.annealing.backend import AnnealingBackend, broadcast_initial_spins, pad_problem_batch
 from repro.annealing.device import AnnealingFunctions
 from repro.annealing.schedule import AnnealSchedule
 from repro.exceptions import ConfigurationError
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import BatchRandomState, ensure_rng, ensure_rng_batch
 
 __all__ = ["ScheduleDrivenAnnealingBackend"]
 
@@ -125,16 +138,21 @@ class ScheduleDrivenAnnealingBackend(AnnealingBackend):
             temperature = base_temperature + self.fluctuation_gain * transverse
             activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
             order = generator.permutation(num_spins)
-            for index in order:
+            # One blocked draw per sweep consumes the generator stream exactly
+            # like the per-spin draws it replaces (row k = spin k's uniforms),
+            # but costs one RNG call instead of one or two per spin.
+            draws_per_spin = 2 if activity < 1.0 else 1
+            draws = generator.random((num_spins, draws_per_spin, num_reads))
+            for position, index in enumerate(order):
                 current = spins[:, index]
                 # Energy change of flipping spin `index`: dE = -2 * s_i * local_i
                 delta_energy = -2.0 * current * local[:, index] * problem
                 accept = (delta_energy <= 0.0) | (
-                    generator.random(num_reads)
+                    draws[position, 0]
                     < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
                 )
                 if activity < 1.0:
-                    accept &= generator.random(num_reads) < activity
+                    accept &= draws[position, 1] < activity
                 if not np.any(accept):
                     continue
                 flipped = np.where(accept, -current, current)
@@ -143,3 +161,123 @@ class ScheduleDrivenAnnealingBackend(AnnealingBackend):
                 local += change[:, None] * symmetric[index][None, :]
 
         return spins.astype(np.int8)
+
+    def run_batch(
+        self,
+        fields: Sequence[np.ndarray],
+        couplings: Sequence[np.ndarray],
+        schedule: AnnealSchedule,
+        num_reads: int,
+        annealing_functions: AnnealingFunctions,
+        relative_temperature: float,
+        initial_spins: Optional[Sequence[Optional[np.ndarray]]] = None,
+        rng: BatchRandomState = None,
+    ) -> List[np.ndarray]:
+        """Vectorised multi-instance Metropolis kernel; see the backend interface.
+
+        All B instances advance through the shared schedule as one
+        ``(B, num_reads, num_spins)`` computation.  Instances are padded to a
+        common size with zero fields/couplings and a validity mask, and each
+        instance draws exclusively from its own child generator in the same
+        order :meth:`run` would, so the results are bitwise-identical to the
+        sequential loop over :meth:`run` with those children.
+        """
+        if num_reads <= 0:
+            raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
+        batch = len(fields)
+        if initial_spins is not None and len(initial_spins) != batch:
+            raise ConfigurationError(
+                f"{len(initial_spins)} initial states supplied for a batch of {batch}"
+            )
+        if batch == 0:
+            return []
+        children = ensure_rng_batch(rng, batch)
+        padded_fields, symmetric, mask, sizes = pad_problem_batch(fields, couplings)
+        max_size = padded_fields.shape[1]
+
+        initials: List[Optional[np.ndarray]] = []
+        for index in range(batch):
+            supplied = None if initial_spins is None else initial_spins[index]
+            initial = broadcast_initial_spins(supplied, num_reads, int(sizes[index]))
+            if schedule.requires_initial_state and initial is None and sizes[index] > 0:
+                raise ConfigurationError(
+                    f"schedule {schedule.name!r} starts at s = 1 and requires an "
+                    f"initial state (missing for instance {index})"
+                )
+            initials.append(initial)
+
+        if max_size == 0:
+            return [np.zeros((num_reads, 0), dtype=np.int8) for _ in range(batch)]
+
+        base_temperature = max(relative_temperature, 1e-6)
+        # Padding lanes start at +1 and, having zero couplings, never influence
+        # real spins; their own flips are suppressed by the mask below.
+        spins = np.ones((batch, num_reads, max_size))
+        local = np.zeros((batch, num_reads, max_size))
+        for index in range(batch):
+            size = int(sizes[index])
+            if size == 0:
+                continue
+            if initials[index] is not None:
+                spins[index, :, :size] = initials[index].astype(float)
+            else:
+                spins[index, :, :size] = children[index].choice(
+                    [-1.0, 1.0], size=(num_reads, size)
+                )
+            local[index, :, :size] = (
+                padded_fields[index, :size][None, :]
+                + spins[index, :, :size] @ symmetric[index, :size, :size]
+            )
+
+        num_steps = max(2, int(round(schedule.duration_us * self.sweeps_per_microsecond)))
+        waypoints = schedule.discretise(num_steps)
+        lanes = np.arange(batch)
+
+        for _, s in waypoints:
+            problem = annealing_functions.relative_problem(float(s))
+            transverse = annealing_functions.relative_transverse(float(s))
+            temperature = base_temperature + self.fluctuation_gain * transverse
+            activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
+            draws_per_spin = 2 if activity < 1.0 else 1
+
+            # Per-instance sweep orders and uniforms, drawn from each child in
+            # the same blocked layout the single-instance kernel uses.
+            orders = np.zeros((batch, max_size), dtype=int)
+            draws = np.zeros((batch, max_size, draws_per_spin, num_reads))
+            for index in range(batch):
+                size = int(sizes[index])
+                if size == 0:
+                    continue
+                orders[index, :size] = children[index].permutation(size)
+                draws[index, :size] = children[index].random(
+                    (size, draws_per_spin, num_reads)
+                )
+
+            for position in range(max_size):
+                # Padding is trailing, so the mask column doubles as "does
+                # this instance still have a spin to visit at this position".
+                active = mask[:, position]
+                if not np.any(active):
+                    break
+                index = orders[:, position]
+                current = spins[lanes, :, index]
+                delta_energy = -2.0 * current * local[lanes, :, index] * problem
+                accept = (delta_energy <= 0.0) | (
+                    draws[:, position, 0]
+                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
+                )
+                if activity < 1.0:
+                    accept &= draws[:, position, 1] < activity
+                accept &= active[:, None]
+                touched = np.nonzero(np.any(accept, axis=1))[0]
+                if touched.size == 0:
+                    continue
+                flipped = np.where(accept, -current, current)
+                change = flipped - current
+                spins[lanes, :, index] = flipped
+                rows = symmetric[touched, index[touched], :]
+                local[touched] += change[touched][:, :, None] * rows[:, None, :]
+
+        return [
+            spins[index, :, : int(sizes[index])].astype(np.int8) for index in range(batch)
+        ]

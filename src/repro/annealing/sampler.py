@@ -17,7 +17,7 @@ The paper's three solver flavours map onto the convenience methods
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from repro.annealing.svmc import SpinVectorMonteCarloBackend
 from repro.exceptions import ConfigurationError
 from repro.qubo.ising import IsingModel, bits_to_spins, qubo_to_ising
 from repro.qubo.model import QUBOModel
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import BatchRandomState, RandomState, ensure_rng, ensure_rng_batch
 
 __all__ = ["QuantumAnnealerSimulator"]
 
@@ -95,6 +95,10 @@ class QuantumAnnealerSimulator:
         if initial_state is not None:
             initial_spins = bits_to_spins(np.asarray(initial_state, dtype=int))
         sampleset = self.sample_ising(ising, schedule, num_reads, initial_spins, rng)
+        return self._requbo_sampleset(qubo, sampleset)
+
+    @staticmethod
+    def _requbo_sampleset(qubo: QUBOModel, sampleset: SampleSet) -> SampleSet:
         # Re-evaluate energies under the QUBO so offsets/conventions match the
         # caller's model exactly (the conversion is exact, but recomputing
         # avoids accumulating floating-point drift through two conversions).
@@ -142,6 +146,137 @@ class QuantumAnnealerSimulator:
 
         sampleset.metadata.update(self._metadata(schedule, num_reads))
         return sampleset
+
+    # ------------------------------------------------------------------ #
+    # Batched multi-instance entry points
+    # ------------------------------------------------------------------ #
+
+    def sample_qubo_batch(
+        self,
+        qubos: Sequence[QUBOModel],
+        schedule: AnnealSchedule,
+        num_reads: int = 100,
+        initial_states: Optional[Sequence[Optional[Sequence[int]]]] = None,
+        rng: BatchRandomState = None,
+    ) -> List[SampleSet]:
+        """Sample a batch of independent QUBOs along one shared anneal schedule.
+
+        Instances may have different sizes; each draws from its own child
+        generator (``rng`` is a root seed or an explicit per-instance
+        generator sequence), so the returned sample sets are bitwise-identical
+        to calling :meth:`sample_qubo` once per instance with those children —
+        regardless of batch composition.
+        """
+        if initial_states is not None and len(initial_states) != len(qubos):
+            raise ConfigurationError(
+                f"{len(initial_states)} initial states supplied for a batch of {len(qubos)}"
+            )
+        isings = [qubo_to_ising(qubo) for qubo in qubos]
+        initial_spins: Optional[List[Optional[np.ndarray]]] = None
+        if initial_states is not None:
+            initial_spins = [
+                None if state is None else bits_to_spins(np.asarray(state, dtype=int))
+                for state in initial_states
+            ]
+        samplesets = self.sample_ising_batch(isings, schedule, num_reads, initial_spins, rng)
+        return [
+            self._requbo_sampleset(qubo, sampleset)
+            for qubo, sampleset in zip(qubos, samplesets)
+        ]
+
+    def sample_ising_batch(
+        self,
+        isings: Sequence[IsingModel],
+        schedule: AnnealSchedule,
+        num_reads: int = 100,
+        initial_spins: Optional[Sequence[Optional[np.ndarray]]] = None,
+        rng: BatchRandomState = None,
+    ) -> List[SampleSet]:
+        """Sample a batch of independent Ising models along one schedule.
+
+        The whole batch is handed to the backend's vectorised
+        :meth:`~repro.annealing.backend.AnnealingBackend.run_batch` kernel in
+        a single call (embedded sampling falls back to a per-instance loop).
+        """
+        if num_reads <= 0:
+            raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
+        if initial_spins is not None and len(initial_spins) != len(isings):
+            raise ConfigurationError(
+                f"{len(initial_spins)} initial states supplied for a batch of {len(isings)}"
+            )
+        batch = len(isings)
+        children = ensure_rng_batch(rng if rng is not None else self._rng, batch)
+
+        for index, ising in enumerate(isings):
+            supplied = None if initial_spins is None else initial_spins[index]
+            if schedule.requires_initial_state and supplied is None:
+                raise ConfigurationError(
+                    f"schedule {schedule.name!r} starts from a classical state; "
+                    f"supply initial_state/initial_spins (missing for instance {index})"
+                )
+
+        if self.use_embedding:
+            return [
+                self.sample_ising(
+                    ising,
+                    schedule,
+                    num_reads,
+                    None if initial_spins is None else initial_spins[index],
+                    children[index],
+                )
+                for index, ising in enumerate(isings)
+            ]
+
+        fields_list = []
+        couplings_list = []
+        for index, ising in enumerate(isings):
+            fields, couplings, _ = self._normalise(ising, children[index])
+            fields_list.append(fields)
+            couplings_list.append(couplings)
+        spins_list = self.backend.run_batch(
+            fields=fields_list,
+            couplings=couplings_list,
+            schedule=schedule,
+            num_reads=num_reads,
+            annealing_functions=self.device.annealing,
+            relative_temperature=self.device.relative_temperature,
+            initial_spins=initial_spins,
+            rng=children,
+        )
+        samplesets = []
+        for ising, spins in zip(isings, spins_list):
+            bits = ((spins + 1) // 2).astype(np.int8)
+            energies = ising.energies(spins)
+            sampleset = SampleSet.from_arrays(bits, energies, metadata={"embedded": False})
+            sampleset.metadata.update(self._metadata(schedule, num_reads))
+            samplesets.append(sampleset)
+        return samplesets
+
+    def forward_anneal_batch(
+        self,
+        qubos: Sequence[QUBOModel],
+        num_reads: int = 100,
+        anneal_time_us: float = 1.0,
+        pause_s: Optional[float] = None,
+        pause_duration_us: float = 1.0,
+        rng: BatchRandomState = None,
+    ) -> List[SampleSet]:
+        """Forward-anneal a batch of QUBOs under one shared schedule."""
+        schedule = forward_anneal_schedule(anneal_time_us, pause_s, pause_duration_us)
+        return self.sample_qubo_batch(qubos, schedule, num_reads, None, rng)
+
+    def reverse_anneal_batch(
+        self,
+        qubos: Sequence[QUBOModel],
+        initial_states: Sequence[Sequence[int]],
+        switch_s: float,
+        num_reads: int = 100,
+        pause_duration_us: float = 1.0,
+        rng: BatchRandomState = None,
+    ) -> List[SampleSet]:
+        """Reverse-anneal a batch of QUBOs from per-instance initial states."""
+        schedule = reverse_anneal_schedule(switch_s, pause_duration_us)
+        return self.sample_qubo_batch(qubos, schedule, num_reads, initial_states, rng)
 
     # ------------------------------------------------------------------ #
     # Paper solver flavours

@@ -16,19 +16,31 @@ local search* around it (fluctuations strong enough to repair a few wrong
 bits but not strong enough to erase the state), while pushing the switch point
 ``s_p`` too low erases the initialisation and pushing it too high freezes the
 dynamics entirely.
+
+Paper linkage
+-------------
+SVMC is the higher-fidelity of the two device surrogates and the default
+backend of :class:`repro.annealing.QuantumAnnealerSimulator`.  It models the
+transverse-field mechanism behind the paper's Figure 5 schedules and the
+Figure 6/8 reverse-annealing band structure (success over a window of
+``s_p``, collapse on both sides).  Like the schedule-driven backend it
+implements the batched engine contract: :meth:`run_batch` advances B
+instances through one schedule as a single ``(B, num_reads, num_spins)``
+rotor computation, with per-instance child generators so batched and
+sequential results are bitwise-identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.annealing.backend import AnnealingBackend, broadcast_initial_spins
+from repro.annealing.backend import AnnealingBackend, broadcast_initial_spins, pad_problem_batch
 from repro.annealing.device import AnnealingFunctions
 from repro.annealing.schedule import AnnealSchedule
 from repro.exceptions import ConfigurationError
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import BatchRandomState, ensure_rng, ensure_rng_batch
 
 __all__ = ["SpinVectorMonteCarloBackend"]
 
@@ -143,17 +155,24 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
             # remain appreciable relative to the problem scale.
             activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
             order = generator.permutation(num_spins)
-            for index in order:
+            # Blocked per-sweep draws: one RNG call per distribution per sweep
+            # instead of four or five per spin.  Row k of each block belongs to
+            # the k-th spin visited this sweep.
+            draws_per_spin = 2 if activity < 1.0 else 1
+            normals = generator.normal(0.0, self.proposal_width, size=(num_spins, num_reads))
+            uniform_angles = generator.uniform(0.0, np.pi, size=(num_spins, num_reads))
+            use_draws = generator.random((num_spins, num_reads))
+            accept_draws = generator.random((num_spins, draws_per_spin, num_reads))
+            for position, index in enumerate(order):
                 current_theta = theta[:, index]
                 current_cos = cosines[:, index]
                 current_sin = np.sin(current_theta)
 
-                gaussian = current_theta + generator.normal(
-                    0.0, self.proposal_width, size=num_reads
+                gaussian = current_theta + normals[position]
+                use_uniform = use_draws[position] < self.uniform_fraction
+                proposed_theta = np.where(
+                    use_uniform, uniform_angles[position], np.clip(gaussian, 0.0, np.pi)
                 )
-                uniform = generator.uniform(0.0, np.pi, size=num_reads)
-                use_uniform = generator.random(num_reads) < self.uniform_fraction
-                proposed_theta = np.where(use_uniform, uniform, np.clip(gaussian, 0.0, np.pi))
                 proposed_cos = np.cos(proposed_theta)
                 proposed_sin = np.sin(proposed_theta)
 
@@ -163,10 +182,11 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
                 delta_energy -= transverse * (proposed_sin - current_sin)
 
                 accept = (delta_energy <= 0.0) | (
-                    generator.random(num_reads) < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
+                    accept_draws[position, 0]
+                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
                 )
                 if activity < 1.0:
-                    accept &= generator.random(num_reads) < activity
+                    accept &= accept_draws[position, 1] < activity
                 if not np.any(accept):
                     continue
 
@@ -179,6 +199,152 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
                 local += change[:, None] * symmetric[index][None, :]
 
         return self._project(cosines, generator)
+
+    def run_batch(
+        self,
+        fields: Sequence[np.ndarray],
+        couplings: Sequence[np.ndarray],
+        schedule: AnnealSchedule,
+        num_reads: int,
+        annealing_functions: AnnealingFunctions,
+        relative_temperature: float,
+        initial_spins: Optional[Sequence[Optional[np.ndarray]]] = None,
+        rng: BatchRandomState = None,
+    ) -> List[np.ndarray]:
+        """Vectorised multi-instance SVMC kernel; see the backend interface.
+
+        Mirrors :meth:`run` with a leading batch dimension: all B rotor
+        systems evolve through the shared schedule as one
+        ``(B, num_reads, num_spins)`` computation, padded to a common size,
+        with instance ``b`` drawing from child generator ``b`` in the same
+        blocked per-sweep layout :meth:`run` uses — so the results are
+        bitwise-identical to the sequential loop over :meth:`run` with those
+        children.
+        """
+        if num_reads <= 0:
+            raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
+        batch = len(fields)
+        if initial_spins is not None and len(initial_spins) != batch:
+            raise ConfigurationError(
+                f"{len(initial_spins)} initial states supplied for a batch of {batch}"
+            )
+        if batch == 0:
+            return []
+        children = ensure_rng_batch(rng, batch)
+        padded_fields, symmetric, mask, sizes = pad_problem_batch(fields, couplings)
+        max_size = padded_fields.shape[1]
+
+        initials: List[Optional[np.ndarray]] = []
+        for index in range(batch):
+            supplied = None if initial_spins is None else initial_spins[index]
+            initial = broadcast_initial_spins(supplied, num_reads, int(sizes[index]))
+            if schedule.requires_initial_state and initial is None and sizes[index] > 0:
+                raise ConfigurationError(
+                    f"schedule {schedule.name!r} starts at s = 1 and requires an "
+                    f"initial state (missing for instance {index})"
+                )
+            initials.append(initial)
+
+        if max_size == 0:
+            return [np.zeros((num_reads, 0), dtype=np.int8) for _ in range(batch)]
+
+        temperature = max(relative_temperature, 1e-6)
+        # Padding rotors sit at theta = 0 with zero couplings: they cannot
+        # influence real spins and the mask keeps them out of the sweep.
+        theta = np.zeros((batch, num_reads, max_size))
+        cosines = np.ones((batch, num_reads, max_size))
+        local = np.zeros((batch, num_reads, max_size))
+        for index in range(batch):
+            size = int(sizes[index])
+            if size == 0:
+                continue
+            theta[index, :, :size] = self._initial_angles(
+                initials[index], num_reads, size, children[index]
+            )
+            cosines[index, :, :size] = np.cos(theta[index, :, :size])
+            local[index, :, :size] = (
+                padded_fields[index, :size][None, :]
+                + cosines[index, :, :size] @ symmetric[index, :size, :size]
+            )
+
+        num_steps = max(2, int(round(schedule.duration_us * self.sweeps_per_microsecond)))
+        waypoints = schedule.discretise(num_steps)
+        lanes = np.arange(batch)
+
+        for _, s in waypoints:
+            transverse = annealing_functions.relative_transverse(float(s))
+            problem = annealing_functions.relative_problem(float(s))
+            activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
+            draws_per_spin = 2 if activity < 1.0 else 1
+
+            orders = np.zeros((batch, max_size), dtype=int)
+            normals = np.zeros((batch, max_size, num_reads))
+            uniform_angles = np.zeros((batch, max_size, num_reads))
+            use_draws = np.ones((batch, max_size, num_reads))
+            accept_draws = np.ones((batch, max_size, draws_per_spin, num_reads))
+            for index in range(batch):
+                size = int(sizes[index])
+                if size == 0:
+                    continue
+                child = children[index]
+                orders[index, :size] = child.permutation(size)
+                normals[index, :size] = child.normal(
+                    0.0, self.proposal_width, size=(size, num_reads)
+                )
+                uniform_angles[index, :size] = child.uniform(
+                    0.0, np.pi, size=(size, num_reads)
+                )
+                use_draws[index, :size] = child.random((size, num_reads))
+                accept_draws[index, :size] = child.random(
+                    (size, draws_per_spin, num_reads)
+                )
+
+            for position in range(max_size):
+                # Padding is trailing, so the mask column doubles as "does
+                # this instance still have a spin to visit at this position".
+                active = mask[:, position]
+                if not np.any(active):
+                    break
+                index = orders[:, position]
+                current_theta = theta[lanes, :, index]
+                current_cos = cosines[lanes, :, index]
+                current_sin = np.sin(current_theta)
+
+                gaussian = current_theta + normals[:, position]
+                use_uniform = use_draws[:, position] < self.uniform_fraction
+                proposed_theta = np.where(
+                    use_uniform, uniform_angles[:, position], np.clip(gaussian, 0.0, np.pi)
+                )
+                proposed_cos = np.cos(proposed_theta)
+                proposed_sin = np.sin(proposed_theta)
+
+                problem_field = local[lanes, :, index]
+                delta_energy = problem * problem_field * (proposed_cos - current_cos)
+                delta_energy -= transverse * (proposed_sin - current_sin)
+
+                accept = (delta_energy <= 0.0) | (
+                    accept_draws[:, position, 0]
+                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
+                )
+                if activity < 1.0:
+                    accept &= accept_draws[:, position, 1] < activity
+                accept &= active[:, None]
+                touched = np.nonzero(np.any(accept, axis=1))[0]
+                if touched.size == 0:
+                    continue
+
+                new_theta = np.where(accept, proposed_theta, current_theta)
+                new_cos = np.cos(new_theta)
+                change = new_cos - current_cos
+                theta[lanes, :, index] = new_theta
+                cosines[lanes, :, index] = new_cos
+                rows = symmetric[touched, index[touched], :]
+                local[touched] += change[touched][:, :, None] * rows[:, None, :]
+
+        return [
+            self._project(cosines[index, :, : int(sizes[index])], children[index])
+            for index in range(batch)
+        ]
 
     # ------------------------------------------------------------------ #
 

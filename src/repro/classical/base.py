@@ -15,12 +15,12 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.qubo.model import QUBOModel
-from repro.utils.rng import RandomState
+from repro.utils.rng import BatchRandomState, RandomState
 from repro.wireless.mimo import MIMOInstance
 
 __all__ = ["QuboSolution", "QuboSolver", "MIMODetector", "timed_call"]
@@ -79,6 +79,26 @@ class QuboSolver(abc.ABC):
         from repro.utils.rng import spawn_rngs
 
         return [self.solve(qubo, child) for child in spawn_rngs(rng, count)]
+
+    def solve_batch(self, qubos: Sequence[QUBOModel], rng: BatchRandomState = None) -> list:
+        """Solve a batch of *independent* QUBO instances.
+
+        ``rng`` is a root seed (spawned into one child generator per instance
+        via :func:`repro.utils.rng.ensure_rng_batch`) or an explicit sequence
+        of per-instance generators.  Instance ``b`` consumes randomness only
+        from child ``b``, so results do not depend on how a workload is split
+        into batches, and a batch of one is bitwise-identical to
+        :meth:`solve` with the same child generator.
+
+        This default implementation is the sequential loop; solvers with a
+        vectorised multi-instance kernel (e.g.
+        :class:`repro.classical.SimulatedAnnealingSolver`) override it while
+        preserving the same contract.
+        """
+        from repro.utils.rng import ensure_rng_batch
+
+        children = ensure_rng_batch(rng, len(qubos))
+        return [self.solve(qubo, child) for qubo, child in zip(qubos, children)]
 
 
 class MIMODetector(abc.ABC):

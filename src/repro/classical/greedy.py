@@ -21,14 +21,14 @@ prototype uses it.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.classical.base import QuboSolution, QuboSolver, timed_call
 from repro.exceptions import ConfigurationError
 from repro.qubo.model import QUBOModel
-from repro.utils.rng import RandomState
+from repro.utils.rng import BatchRandomState, RandomState
 
 __all__ = ["GreedySearchSolver", "greedy_search", "greedy_field_scores"]
 
@@ -159,3 +159,28 @@ class GreedySearchSolver(QuboSolver):
             iterations=qubo.num_variables,
             metadata={"measured_wall_time_us": measured_us, "order": self.order},
         )
+
+    def solve_batch(
+        self, qubos: Sequence[QUBOModel], rng: BatchRandomState = None
+    ) -> List[QuboSolution]:
+        """Solve a batch of QUBOs; GS is deterministic so no children are spawned.
+
+        One wall-clock measurement covers the whole batch (apportioned evenly
+        into each solution's ``measured_wall_time_us``); the modelled compute
+        time stays per-instance and linear in N, matching :meth:`solve`.
+        """
+        assignments, measured_us = timed_call(
+            lambda: [greedy_search(qubo, self.order) for qubo in qubos]
+        )
+        per_instance_us = measured_us / max(len(qubos), 1)
+        return [
+            QuboSolution(
+                assignment=assignment,
+                energy=qubo.energy(assignment),
+                solver_name=self.name,
+                compute_time_us=self.modelled_time_per_variable_us * qubo.num_variables,
+                iterations=qubo.num_variables,
+                metadata={"measured_wall_time_us": per_instance_us, "order": self.order},
+            )
+            for qubo, assignment in zip(qubos, assignments)
+        ]

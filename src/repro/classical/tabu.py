@@ -5,6 +5,13 @@ service the paper cites in its related-work discussion, and a natural
 candidate for the "application-specific classical solvers" of Section 5.  The
 implementation is a standard single-flip best-improvement tabu search with an
 aspiration criterion and optional random restarts.
+
+Batch semantics: tabu search inherits the default
+:meth:`~repro.classical.base.QuboSolver.solve_batch` — a sequential loop over
+per-instance child generators — because its best-improvement move selection
+(a full argmin per move) does not vectorise profitably across instances of
+different sizes.  The per-instance child streams still make batched results
+independent of batch composition.
 """
 
 from __future__ import annotations

@@ -16,12 +16,16 @@ Installed as ``repro-experiments``::
 
 ``--paper-scale`` switches the configurations that support it to the paper's
 full instance/read counts (slow); ``--quick`` selects the minimal smoke-test
-configurations.
+configurations.  ``--batch-size N`` bounds how many QUBO instances the
+experiments submit per batched annealer/solver call (the default submits each
+experiment's natural instance group as one batch); results are identical for
+every batch size thanks to per-instance child generators.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -61,60 +65,75 @@ from repro.experiments import (
 __all__ = ["main"]
 
 
-def _select(config_class, scale: str):
-    """Pick the configuration variant for the requested scale."""
+def _select(config_class, scale: str, batch_size: Optional[int] = None):
+    """Pick the configuration variant for the requested scale.
+
+    ``batch_size`` is applied to configurations that expose a ``batch_size``
+    field (fig6, snr, pipeline); others submit their natural batch and ignore
+    the flag.
+    """
     if scale == "paper" and hasattr(config_class, "paper_scale"):
-        return config_class.paper_scale()
-    if scale == "quick" and hasattr(config_class, "quick"):
-        return config_class.quick()
-    return config_class()
+        config = config_class.paper_scale()
+    elif scale == "quick" and hasattr(config_class, "quick"):
+        config = config_class.quick()
+    else:
+        config = config_class()
+    if batch_size is not None and any(
+        field.name == "batch_size" for field in dataclasses.fields(config)
+    ):
+        config = dataclasses.replace(config, batch_size=batch_size)
+    return config
 
 
-def _run_fig3(scale: str) -> str:
-    return format_figure3_table(run_figure3(_select(Figure3Config, scale)))
+def _run_fig3(scale: str, batch_size: Optional[int]) -> str:
+    return format_figure3_table(run_figure3(_select(Figure3Config, scale, batch_size)))
 
 
-def _run_fig6(scale: str) -> str:
-    return format_figure6_table(run_figure6(_select(Figure6Config, scale)))
+def _run_fig6(scale: str, batch_size: Optional[int]) -> str:
+    return format_figure6_table(run_figure6(_select(Figure6Config, scale, batch_size)))
 
 
-def _run_fig7(scale: str) -> str:
-    return format_figure7_table(run_figure7(_select(Figure7Config, scale)))
+def _run_fig7(scale: str, batch_size: Optional[int]) -> str:
+    return format_figure7_table(run_figure7(_select(Figure7Config, scale, batch_size)))
 
 
-def _run_fig8(scale: str) -> str:
-    return format_figure8_table(run_figure8(_select(Figure8Config, scale)))
+def _run_fig8(scale: str, batch_size: Optional[int]) -> str:
+    return format_figure8_table(run_figure8(_select(Figure8Config, scale, batch_size)))
 
 
-def _run_headline(scale: str) -> str:
-    return format_headline_report(run_headline(_select(HeadlineConfig, scale)))
+def _run_headline(scale: str, batch_size: Optional[int]) -> str:
+    return format_headline_report(run_headline(_select(HeadlineConfig, scale, batch_size)))
 
 
-def _run_pipeline(scale: str) -> str:
-    return format_pipeline_table(run_pipeline_study(_select(PipelineStudyConfig, scale)))
+def _run_pipeline(scale: str, batch_size: Optional[int]) -> str:
+    return format_pipeline_table(
+        run_pipeline_study(_select(PipelineStudyConfig, scale, batch_size))
+    )
 
 
-def _run_ablation(scale: str) -> str:
+def _run_ablation(scale: str, batch_size: Optional[int]) -> str:
     return format_initializer_table(
-        run_initializer_ablation(_select(InitializerAblationConfig, scale))
+        run_initializer_ablation(_select(InitializerAblationConfig, scale, batch_size))
     )
 
 
-def _run_constraints(scale: str) -> str:
+def _run_constraints(scale: str, batch_size: Optional[int]) -> str:
     return format_soft_constraint_table(
-        run_soft_constraint_study(_select(SoftConstraintConfig, scale))
+        run_soft_constraint_study(_select(SoftConstraintConfig, scale, batch_size))
     )
 
 
-def _run_snr(scale: str) -> str:
-    return format_snr_table(run_snr_study(_select(SNRStudyConfig, scale)))
+def _run_snr(scale: str, batch_size: Optional[int]) -> str:
+    return format_snr_table(run_snr_study(_select(SNRStudyConfig, scale, batch_size)))
 
 
-def _run_pause(scale: str) -> str:
-    return format_pause_table(run_pause_ablation(_select(PauseAblationConfig, scale)))
+def _run_pause(scale: str, batch_size: Optional[int]) -> str:
+    return format_pause_table(
+        run_pause_ablation(_select(PauseAblationConfig, scale, batch_size))
+    )
 
 
-_EXPERIMENTS: Dict[str, Callable[[str], str]] = {
+_EXPERIMENTS: Dict[str, Callable[[str, Optional[int]], str]] = {
     "fig3": _run_fig3,
     "fig6": _run_fig6,
     "fig7": _run_fig7,
@@ -151,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the minimal smoke-test configurations",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="QUBO instances per batched annealer/solver submission (default: "
+        "each experiment's natural instance group as one batch); results are "
+        "identical for every batch size",
+    )
     return parser
 
 
@@ -158,11 +186,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    if arguments.batch_size is not None and arguments.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {arguments.batch_size}")
     scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
 
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
-        print(_EXPERIMENTS[name](scale))
+        print(_EXPERIMENTS[name](scale, arguments.batch_size))
         print()
     return 0
 

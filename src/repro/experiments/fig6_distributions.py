@@ -23,10 +23,15 @@ import numpy as np
 
 from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.greedy import GreedySearchSolver
-from repro.experiments.instances import paper_figure6_configurations, synthesize_instances
+from repro.experiments.instances import (
+    instance_qubos,
+    iter_batches,
+    paper_figure6_configurations,
+    synthesize_instances,
+)
 from repro.metrics.quality import delta_e_distribution
 from repro.metrics.statistics import histogram_percentiles
-from repro.utils.rng import stable_seed
+from repro.utils.rng import spawn_rngs, stable_seed
 
 __all__ = ["Figure6Config", "Figure6Series", "run_figure6", "format_figure6_table"]
 
@@ -56,6 +61,10 @@ class Figure6Config:
         sensitivity of the Figure 6 ordering to this choice.
     bin_edges:
         ΔE% histogram bins.
+    batch_size:
+        Instances per batched annealer submission; ``None`` submits all
+        instances of a modulation as one batch.  Child generators per
+        instance keep the results identical for every grouping.
     """
 
     num_variables: int = 36
@@ -67,6 +76,7 @@ class Figure6Config:
     bin_edges: Tuple[float, ...] = (0.0, 2.0, 5.0, 10.0, 20.0, 40.0, 70.0, 100.0, 1e9)
     base_seed: int = 0
     modulations: Optional[Tuple[str, ...]] = None
+    batch_size: Optional[int] = None
 
     @classmethod
     def paper_scale(cls) -> "Figure6Config":
@@ -127,41 +137,64 @@ def run_figure6(
         )
         per_method: Dict[str, List[np.ndarray]] = {method: [] for method in METHODS}
 
-        for bundle in bundles:
-            qubo = bundle.encoding.qubo
-            ground = bundle.ground_energy
-            instance_rng = np.random.default_rng(
-                stable_seed("fig6-instance", modulation, num_users, config.base_seed)
-            )
+        qubos = instance_qubos(bundles)
+        grounds = [bundle.ground_energy for bundle in bundles]
+        # Each instance draws a distinct random initial state (the seed-era
+        # driver reused one state per modulation, which made the RA(random)
+        # series an average over identical runs rather than random states).
+        state_rng = np.random.default_rng(
+            stable_seed("fig6-instance", modulation, num_users, config.base_seed)
+        )
+        random_states = [state_rng.integers(0, 2, qubo.num_variables) for qubo in qubos]
+        greedy_solutions = greedy.solve_batch(qubos)
 
-            fa = annealer.forward_anneal(
-                qubo,
+        # One anneal child generator per (method, instance), spawned up front:
+        # chunked submissions receive slices of the same children, so results
+        # are identical for every batch_size.
+        method_children = {
+            method: spawn_rngs(
+                stable_seed("fig6-anneal", method, modulation, num_users, config.base_seed),
+                len(qubos),
+            )
+            for method in METHODS
+        }
+
+        # Each method's reads for every instance of the modulation go through
+        # the annealer as (chunked) batched submissions instead of a loop.
+        for start, chunk_qubos in iter_batches(qubos, config.batch_size):
+            stop = start + len(chunk_qubos)
+            chunk_grounds = grounds[start:stop]
+
+            fa_sets = annealer.forward_anneal_batch(
+                chunk_qubos,
                 num_reads=config.num_reads,
                 anneal_time_us=config.anneal_time_us,
                 pause_s=config.switch_s,
                 pause_duration_us=config.pause_duration_us,
+                rng=method_children["FA"][start:stop],
             )
-            per_method["FA"].append(delta_e_distribution(fa, ground))
-
-            random_state = instance_rng.integers(0, 2, qubo.num_variables)
-            ra_random = annealer.reverse_anneal(
-                qubo,
-                random_state,
+            ra_random_sets = annealer.reverse_anneal_batch(
+                chunk_qubos,
+                random_states[start:stop],
                 switch_s=config.switch_s,
                 num_reads=config.num_reads,
                 pause_duration_us=config.pause_duration_us,
+                rng=method_children["RA-random"][start:stop],
             )
-            per_method["RA-random"].append(delta_e_distribution(ra_random, ground))
-
-            greedy_solution = greedy.solve(qubo)
-            ra_greedy = annealer.reverse_anneal(
-                qubo,
-                greedy_solution.assignment,
+            ra_greedy_sets = annealer.reverse_anneal_batch(
+                chunk_qubos,
+                [solution.assignment for solution in greedy_solutions[start:stop]],
                 switch_s=config.switch_s,
                 num_reads=config.num_reads,
                 pause_duration_us=config.pause_duration_us,
+                rng=method_children["RA-greedy"][start:stop],
             )
-            per_method["RA-greedy"].append(delta_e_distribution(ra_greedy, ground))
+            for ground, fa, ra_random, ra_greedy in zip(
+                chunk_grounds, fa_sets, ra_random_sets, ra_greedy_sets
+            ):
+                per_method["FA"].append(delta_e_distribution(fa, ground))
+                per_method["RA-random"].append(delta_e_distribution(ra_random, ground))
+                per_method["RA-greedy"].append(delta_e_distribution(ra_greedy, ground))
 
         for method in METHODS:
             samples = np.concatenate(per_method[method])

@@ -32,7 +32,7 @@ from repro.experiments.instances import InstanceBundle, synthesize_instance
 from repro.hybrid.parameters import (
     SwitchPointRecord,
     sweep_forward_reverse_turning_point,
-    sweep_switch_point,
+    sweep_switch_point_batch,
 )
 from repro.metrics.quality import delta_e_percent
 from repro.utils.rng import stable_seed
@@ -177,10 +177,10 @@ def run_figure8(
 
     rows: List[Figure8Row] = []
 
-    # Forward annealing baseline.
-    fa_records = sweep_switch_point(
-        qubo,
-        ground_energy,
+    # Forward annealing baseline (a batch of one keeps the code path uniform).
+    fa_records = sweep_switch_point_batch(
+        [qubo],
+        [ground_energy],
         method="FA",
         switch_values=grid,
         sampler=annealer,
@@ -188,56 +188,41 @@ def run_figure8(
         pause_duration_us=config.pause_duration_us,
         anneal_time_us=config.anneal_time_us,
         confidence_percent=config.confidence_percent,
-    )
+        rng=stable_seed("fig8-fa", config.base_seed),
+    )[0]
     rows.extend(_rows_from_records("FA", fa_records))
 
-    # Reverse annealing from the Greedy Search candidate (the hybrid prototype).
+    # The whole reverse-annealing family — greedy candidate (the hybrid
+    # prototype), exact ground state (reference line) and optionally an
+    # intermediate-quality candidate — shares the RA schedule at every s_p,
+    # so each grid point is one batched submission across the variants.
     greedy_solution = GreedySearchSolver().solve(qubo)
     greedy_quality = delta_e_percent(greedy_solution.energy, ground_energy)
-    ra_gs_records = sweep_switch_point(
-        qubo,
-        ground_energy,
-        method="RA",
-        switch_values=grid,
-        initial_state=greedy_solution.assignment,
-        sampler=annealer,
-        num_reads=config.num_reads,
-        pause_duration_us=config.pause_duration_us,
-        confidence_percent=config.confidence_percent,
-    )
-    rows.extend(_rows_from_records("RA-greedy", ra_gs_records, greedy_quality))
+    ra_labels: List[str] = ["RA-greedy", "RA-ground"]
+    ra_qualities: List[float] = [greedy_quality, 0.0]
+    ra_initial_states: List[np.ndarray] = [greedy_solution.assignment, instance.ground_state]
 
-    # Reverse annealing from the exact ground state (reference line).
-    ra_ground_records = sweep_switch_point(
-        qubo,
-        ground_energy,
-        method="RA",
-        switch_values=grid,
-        initial_state=instance.ground_state,
-        sampler=annealer,
-        num_reads=config.num_reads,
-        pause_duration_us=config.pause_duration_us,
-        confidence_percent=config.confidence_percent,
-    )
-    rows.extend(_rows_from_records("RA-ground", ra_ground_records, 0.0))
-
-    # Reverse annealing from an intermediate-quality candidate.
     if config.intermediate_initial_quality is not None:
         candidate = _candidate_with_quality(instance, config.intermediate_initial_quality, rng)
         if candidate is not None:
-            quality = delta_e_percent(qubo.energy(candidate), ground_energy)
-            ra_mid_records = sweep_switch_point(
-                qubo,
-                ground_energy,
-                method="RA",
-                switch_values=grid,
-                initial_state=candidate,
-                sampler=annealer,
-                num_reads=config.num_reads,
-                pause_duration_us=config.pause_duration_us,
-                confidence_percent=config.confidence_percent,
-            )
-            rows.extend(_rows_from_records("RA-intermediate", ra_mid_records, quality))
+            ra_labels.append("RA-intermediate")
+            ra_qualities.append(delta_e_percent(qubo.energy(candidate), ground_energy))
+            ra_initial_states.append(candidate)
+
+    ra_results = sweep_switch_point_batch(
+        [qubo] * len(ra_labels),
+        [ground_energy] * len(ra_labels),
+        method="RA",
+        switch_values=grid,
+        initial_states=ra_initial_states,
+        sampler=annealer,
+        num_reads=config.num_reads,
+        pause_duration_us=config.pause_duration_us,
+        confidence_percent=config.confidence_percent,
+        rng=stable_seed("fig8-ra", config.base_seed),
+    )
+    for label, quality, records in zip(ra_labels, ra_qualities, ra_results):
+        rows.extend(_rows_from_records(label, records, quality))
 
     # Forward-reverse annealing with the oracle turning point.
     if config.include_fr_oracle:
@@ -254,6 +239,7 @@ def run_figure8(
                 pause_duration_us=config.pause_duration_us,
                 anneal_time_us=config.anneal_time_us,
                 confidence_percent=config.confidence_percent,
+                rng=stable_seed("fig8-fr", config.base_seed, float(switch_s)),
             )
             if not fr_records:
                 continue

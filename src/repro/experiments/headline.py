@@ -22,7 +22,7 @@ import numpy as np
 from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.greedy import GreedySearchSolver
 from repro.experiments.instances import synthesize_instance
-from repro.hybrid.parameters import best_switch_point, sweep_switch_point
+from repro.hybrid.parameters import best_switch_point, sweep_switch_point_batch
 from repro.utils.rng import stable_seed
 
 __all__ = ["HeadlineConfig", "HeadlineResult", "run_headline", "format_headline_report"]
@@ -134,7 +134,36 @@ def run_headline(
         for seed in config.instance_seeds
     ]
 
-    labels: List[str] = []
+    labels: List[str] = [bundle.describe() for bundle in bundles]
+    qubos = [bundle.encoding.qubo for bundle in bundles]
+    grounds = [bundle.ground_energy for bundle in bundles]
+
+    # Both methods sweep all instances at once: every grid point is one
+    # batched annealer submission across the instance seeds.
+    fa_per_instance = sweep_switch_point_batch(
+        qubos,
+        grounds,
+        method="FA",
+        switch_values=config.switch_values,
+        sampler=annealer,
+        num_reads=config.num_reads,
+        pause_duration_us=config.pause_duration_us,
+        anneal_time_us=config.anneal_time_us,
+        rng=stable_seed("headline-fa", config.base_seed),
+    )
+    greedy_solutions = greedy.solve_batch(qubos)
+    ra_per_instance = sweep_switch_point_batch(
+        qubos,
+        grounds,
+        method="RA",
+        switch_values=config.switch_values,
+        initial_states=[solution.assignment for solution in greedy_solutions],
+        sampler=annealer,
+        num_reads=config.num_reads,
+        pause_duration_us=config.pause_duration_us,
+        rng=stable_seed("headline-ra", config.base_seed),
+    )
+
     fa_success: List[float] = []
     ra_success: List[float] = []
     fa_tts: List[float] = []
@@ -142,37 +171,12 @@ def run_headline(
     fa_switch: List[float] = []
     ra_switch: List[float] = []
 
-    for bundle in bundles:
-        labels.append(bundle.describe())
-        qubo = bundle.encoding.qubo
-        ground = bundle.ground_energy
-
-        fa_records = sweep_switch_point(
-            qubo,
-            ground,
-            method="FA",
-            switch_values=config.switch_values,
-            sampler=annealer,
-            num_reads=config.num_reads,
-            pause_duration_us=config.pause_duration_us,
-            anneal_time_us=config.anneal_time_us,
-        )
+    for fa_records, ra_records in zip(fa_per_instance, ra_per_instance):
         fa_best = best_switch_point(fa_records)
         fa_success.append(fa_best.success_probability)
         fa_tts.append(fa_best.tts.tts_us)
         fa_switch.append(fa_best.switch_s)
 
-        greedy_solution = greedy.solve(qubo)
-        ra_records = sweep_switch_point(
-            qubo,
-            ground,
-            method="RA",
-            switch_values=config.switch_values,
-            initial_state=greedy_solution.assignment,
-            sampler=annealer,
-            num_reads=config.num_reads,
-            pause_duration_us=config.pause_duration_us,
-        )
         ra_best = best_switch_point(ra_records)
         ra_success.append(ra_best.success_probability)
         ra_tts.append(ra_best.tts.tts_us)

@@ -18,6 +18,7 @@ from repro.hybrid.solver import (
 from repro.hybrid.parameters import (
     SwitchPointRecord,
     sweep_switch_point,
+    sweep_switch_point_batch,
     best_switch_point,
     sweep_forward_reverse_turning_point,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "DetectorInitializer",
     "SwitchPointRecord",
     "sweep_switch_point",
+    "sweep_switch_point_batch",
     "best_switch_point",
     "sweep_forward_reverse_turning_point",
     "StageTiming",

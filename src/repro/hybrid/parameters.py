@@ -26,12 +26,13 @@ from repro.annealing.schedule import (
 from repro.exceptions import ConfigurationError
 from repro.metrics.tts import TTSResult, time_to_solution
 from repro.qubo.model import QUBOModel
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import BatchRandomState, RandomState, ensure_rng, ensure_rng_batch
 
 __all__ = [
     "SwitchPointRecord",
     "paper_switch_point_grid",
     "sweep_switch_point",
+    "sweep_switch_point_batch",
     "best_switch_point",
     "sweep_forward_reverse_turning_point",
 ]
@@ -139,6 +140,87 @@ def sweep_switch_point(
             )
         )
     return records
+
+
+def sweep_switch_point_batch(
+    qubos: Sequence[QUBOModel],
+    ground_energies: Sequence[float],
+    method: str = "RA",
+    switch_values: Optional[Sequence[float]] = None,
+    initial_states: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    sampler: Optional[QuantumAnnealerSimulator] = None,
+    num_reads: int = 500,
+    pause_duration_us: float = 1.0,
+    anneal_time_us: float = 1.0,
+    confidence_percent: float = 99.0,
+    rng: BatchRandomState = None,
+) -> List[List[SwitchPointRecord]]:
+    """Sweep s_p for a *batch* of instances and return per-instance records.
+
+    At every grid point all instances are submitted to the annealer simulator
+    as one batched call, so the whole sweep runs B instances wide through the
+    vectorised backend kernel instead of looping.  The entries of ``qubos``
+    may repeat (e.g. one detection problem swept from several initial states,
+    as Figure 8 does) or differ (e.g. the headline experiment's instance
+    seeds).  Per-instance child generators make the result identical to
+    running :func:`sweep_switch_point` once per instance with those children.
+
+    Returns one ``List[SwitchPointRecord]`` (ordered like the grid) per
+    instance.
+    """
+    method = method.upper()
+    if method not in ("FA", "RA", "FR"):
+        raise ConfigurationError(f"method must be 'FA', 'RA' or 'FR', got {method!r}")
+    if len(ground_energies) != len(qubos):
+        raise ConfigurationError(
+            f"{len(ground_energies)} ground energies supplied for {len(qubos)} instances"
+        )
+    if method == "RA":
+        if initial_states is None or any(state is None for state in initial_states):
+            raise ConfigurationError("reverse annealing sweeps require initial states")
+    if initial_states is not None and len(initial_states) != len(qubos):
+        raise ConfigurationError(
+            f"{len(initial_states)} initial states supplied for {len(qubos)} instances"
+        )
+
+    values = np.asarray(
+        switch_values if switch_values is not None else paper_switch_point_grid(), dtype=float
+    )
+    annealer = sampler if sampler is not None else QuantumAnnealerSimulator()
+    children = ensure_rng_batch(rng, len(qubos))
+
+    results: List[List[SwitchPointRecord]] = [[] for _ in qubos]
+    for switch_s in values:
+        switch_s = float(switch_s)
+        turning_s: Optional[float] = None
+        if method == "FA":
+            schedule = forward_anneal_schedule(anneal_time_us, switch_s, pause_duration_us)
+            states: Optional[Sequence] = None
+        elif method == "RA":
+            schedule = reverse_anneal_schedule(switch_s, pause_duration_us)
+            states = initial_states
+        else:
+            turning_s = min(switch_s + 0.2, 0.95)
+            schedule = forward_reverse_anneal_schedule(
+                turning_s, switch_s, pause_duration_us, anneal_time_us
+            )
+            states = None
+        samplesets = annealer.sample_qubo_batch(qubos, schedule, num_reads, states, children)
+        for index, (sampleset, ground_energy) in enumerate(zip(samplesets, ground_energies)):
+            probability = sampleset.success_probability(float(ground_energy))
+            tts = time_to_solution(probability, schedule.duration_us, confidence_percent)
+            results[index].append(
+                SwitchPointRecord(
+                    method=method,
+                    switch_s=switch_s,
+                    success_probability=probability,
+                    tts=tts,
+                    expectation_energy=sampleset.expectation_energy(),
+                    duration_us=schedule.duration_us,
+                    turning_s=turning_s,
+                )
+            )
+    return results
 
 
 def best_switch_point(records: Sequence[SwitchPointRecord]) -> SwitchPointRecord:

@@ -18,6 +18,20 @@ The simulator models each stage as a single FIFO server:
 
 Running the same workload with ``pipelined=False`` serialises the two stages
 onto a single server, which is the baseline Figure 2 is contrasted against.
+
+Paper linkage
+-------------
+This module is the quantitative counterpart of paper **Figure 2** (the staged
+classical/quantum pipeline) and of **Design Challenge 3** in Section 5
+(stage balancing, buffering and cost accounting).  The batched engine extends
+the figure's premise: not only do the classical and quantum stages overlap
+across successive channel uses, but each stage also *processes channel uses
+in batches* — the classical initialisers via
+:meth:`~repro.classical.base.QuboSolver.solve_batch` and the anneals via
+:meth:`~repro.annealing.QuantumAnnealerSimulator.sample_qubo_batch` — which
+is how a receiver keeps many concurrent channel uses in flight.  Batch
+grouping is a pure execution detail: per-channel-use child generators keep
+the reported solutions identical for every ``batch_size``.
 """
 
 from __future__ import annotations
@@ -28,12 +42,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.annealing.sampler import QuantumAnnealerSimulator
+from repro.annealing.sampleset import SampleSet
 from repro.annealing.schedule import reverse_anneal_schedule
 from repro.classical.base import QuboSolver
 from repro.classical.greedy import GreedySearchSolver
 from repro.exceptions import PipelineError
 from repro.transform.mimo_to_qubo import mimo_to_qubo
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.batching import iter_batches
+from repro.utils.rng import BatchRandomState, ensure_rng_batch
 from repro.wireless.traffic import ChannelUse
 
 __all__ = [
@@ -115,6 +131,12 @@ class HybridPipelineSimulator:
         When true the annealer is actually run per channel use so solution
         quality can be reported; when false only the timing model is exercised
         (much faster — useful for long traffic traces).
+    batch_size:
+        How many channel uses are grouped into each batched solver/sampler
+        submission.  ``None`` (the default) submits the whole trace as one
+        batch — the fastest option; smaller values bound memory.  Per-job
+        child generators make the reported solutions identical for every
+        choice.
     """
 
     def __init__(
@@ -126,11 +148,14 @@ class HybridPipelineSimulator:
         num_reads: int = 50,
         include_qpu_overheads: bool = False,
         evaluate_solutions: bool = True,
+        batch_size: Optional[int] = None,
     ) -> None:
         if not 0.0 < switch_s < 1.0:
             raise PipelineError(f"switch_s must lie strictly inside (0, 1), got {switch_s}")
         if num_reads <= 0:
             raise PipelineError(f"num_reads must be positive, got {num_reads}")
+        if batch_size is not None and batch_size <= 0:
+            raise PipelineError(f"batch_size must be positive or None, got {batch_size}")
         self.classical_solver = classical_solver if classical_solver is not None else GreedySearchSolver()
         self.sampler = sampler if sampler is not None else QuantumAnnealerSimulator()
         self.switch_s = float(switch_s)
@@ -138,6 +163,7 @@ class HybridPipelineSimulator:
         self.num_reads = int(num_reads)
         self.include_qpu_overheads = bool(include_qpu_overheads)
         self.evaluate_solutions = bool(evaluate_solutions)
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------ #
 
@@ -145,7 +171,7 @@ class HybridPipelineSimulator:
         self,
         channel_uses: Sequence[ChannelUse],
         pipelined: bool = True,
-        rng: RandomState = None,
+        rng: BatchRandomState = None,
     ) -> PipelineReport:
         """Simulate the processing of a channel-use stream.
 
@@ -153,12 +179,45 @@ class HybridPipelineSimulator:
         across successive channel uses; with ``pipelined=False`` each channel
         use occupies a single combined server for the sum of both service
         times (the non-pipelined baseline).
+
+        Solutions are computed through the batched engine: channel uses are
+        grouped into ``batch_size`` chunks and each chunk is submitted as one
+        :meth:`~repro.classical.base.QuboSolver.solve_batch` /
+        :meth:`~repro.annealing.QuantumAnnealerSimulator.sample_qubo_batch`
+        call, with one child generator per channel use so the outcome is
+        independent of the grouping.  The discrete-event timing model then
+        replays arrivals job by job.
         """
         if not channel_uses:
             raise PipelineError("channel_uses must not be empty")
-        generator = ensure_rng(rng)
+        children = ensure_rng_batch(rng, len(channel_uses))
         schedule = reverse_anneal_schedule(self.switch_s, self.pause_duration_us)
 
+        # ---- Batched solution computation -----------------------------
+        encodings = [
+            mimo_to_qubo(channel_use.transmission.instance) for channel_use in channel_uses
+        ]
+        initials = []
+        samplesets: List[Optional[SampleSet]] = []
+        for start, chunk in iter_batches(encodings, self.batch_size):
+            chunk_children = children[start : start + len(chunk)]
+            chunk_qubos = [encoding.qubo for encoding in chunk]
+            chunk_initials = self.classical_solver.solve_batch(chunk_qubos, chunk_children)
+            initials.extend(chunk_initials)
+            if self.evaluate_solutions:
+                samplesets.extend(
+                    self.sampler.sample_qubo_batch(
+                        chunk_qubos,
+                        schedule,
+                        num_reads=self.num_reads,
+                        initial_states=[initial.assignment for initial in chunk_initials],
+                        rng=chunk_children,
+                    )
+                )
+            else:
+                samplesets.extend([None] * len(chunk))
+
+        # ---- Discrete-event timing replay -----------------------------
         jobs: List[PipelineJobResult] = []
         classical_free_at = 0.0
         quantum_free_at = 0.0
@@ -166,8 +225,9 @@ class HybridPipelineSimulator:
         classical_busy = 0.0
         quantum_busy = 0.0
 
-        for channel_use in channel_uses:
-            encoding = mimo_to_qubo(channel_use.transmission.instance)
+        for channel_use, encoding, initial, sampleset in zip(
+            channel_uses, encodings, initials, samplesets
+        ):
             ground_energy: Optional[float] = None
             if channel_use.transmission.noise_variance == 0.0:
                 # In the noiseless protocol the transmitted vector is the exact
@@ -177,7 +237,6 @@ class HybridPipelineSimulator:
                 )
                 ground_energy = encoding.qubo.energy(transmitted_bits)
 
-            initial = self.classical_solver.solve(encoding.qubo, generator)
             classical_service = max(initial.compute_time_us, 1e-9)
 
             quantum_service = schedule.duration_us * self.num_reads
@@ -188,14 +247,7 @@ class HybridPipelineSimulator:
 
             best_energy = initial.energy
             detected_optimum: Optional[bool] = None
-            if self.evaluate_solutions:
-                sampleset = self.sampler.sample_qubo(
-                    encoding.qubo,
-                    schedule,
-                    num_reads=self.num_reads,
-                    initial_state=initial.assignment,
-                    rng=generator,
-                )
+            if sampleset is not None:
                 best_energy = min(best_energy, sampleset.lowest_energy())
             if ground_energy is not None:
                 detected_optimum = bool(best_energy <= ground_energy + 1e-6)
@@ -279,5 +331,6 @@ class HybridPipelineSimulator:
                 "num_reads": self.num_reads,
                 "include_qpu_overheads": self.include_qpu_overheads,
                 "classical_solver": self.classical_solver.name,
+                "batch_size": self.batch_size,
             },
         )

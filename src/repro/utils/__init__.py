@@ -11,7 +11,14 @@ The submodules are intentionally small and dependency-free (beyond numpy):
   dataclasses.
 """
 
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.rng import (
+    BatchRandomState,
+    RandomState,
+    ensure_rng,
+    ensure_rng_batch,
+    spawn_rngs,
+)
+from repro.utils.batching import iter_batches
 from repro.utils.linalg import (
     complex_to_real_stacked,
     real_to_complex_stacked,
@@ -29,8 +36,11 @@ from repro.utils.validation import (
 from repro.utils.serialization import to_jsonable, from_jsonable
 
 __all__ = [
+    "BatchRandomState",
     "RandomState",
     "ensure_rng",
+    "ensure_rng_batch",
+    "iter_batches",
     "spawn_rngs",
     "complex_to_real_stacked",
     "real_to_complex_stacked",

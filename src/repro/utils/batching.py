@@ -1,0 +1,35 @@
+"""Chunking helpers for the batched multi-instance engine.
+
+The batched solvers and samplers accept arbitrarily large instance batches;
+experiment drivers use :func:`iter_batches` to honour a configured
+``batch_size`` (memory ceiling / submission granularity) while still feeding
+each chunk through the vectorised code path.  Because every instance draws
+from its own child generator, results are identical whatever chunking is
+chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+Item = TypeVar("Item")
+
+__all__ = ["iter_batches"]
+
+
+def iter_batches(
+    items: Sequence[Item], batch_size: Optional[int] = None
+) -> Iterator[Tuple[int, List[Item]]]:
+    """Yield ``(start_index, chunk)`` pairs covering ``items`` in order.
+
+    ``batch_size=None`` yields the whole sequence as one chunk (maximum
+    batching); otherwise chunks have at most ``batch_size`` items.
+    """
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError(f"batch_size must be positive or None, got {batch_size}")
+    total = len(items)
+    if total == 0:
+        return
+    size = total if batch_size is None else batch_size
+    for start in range(0, total, size):
+        yield start, list(items[start : start + size])
