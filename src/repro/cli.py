@@ -12,6 +12,7 @@ Installed as ``repro-experiments``::
     repro-experiments constraints     # Figure 4  (soft constraints)
     repro-experiments snr             # extension: BER vs SNR under AWGN
     repro-experiments pause           # extension: the power of pausing
+    repro-experiments serve           # serving layer: multi-user load sweep
     repro-experiments all             # everything, in order
 
 ``--paper-scale`` switches the configurations that support it to the paper's
@@ -36,6 +37,7 @@ from repro.experiments import (
     Figure8Config,
     HeadlineConfig,
     InitializerAblationConfig,
+    LoadStudyConfig,
     PauseAblationConfig,
     PipelineStudyConfig,
     SNRStudyConfig,
@@ -46,6 +48,7 @@ from repro.experiments import (
     format_figure8_table,
     format_headline_report,
     format_initializer_table,
+    format_load_study_table,
     format_pause_table,
     format_pipeline_table,
     format_snr_table,
@@ -56,6 +59,7 @@ from repro.experiments import (
     run_figure8,
     run_headline,
     run_initializer_ablation,
+    run_load_study,
     run_pause_ablation,
     run_pipeline_study,
     run_snr_study,
@@ -133,6 +137,13 @@ def _run_pause(scale: str, batch_size: Optional[int]) -> str:
     )
 
 
+def _run_serve(scale: str, batch_size: Optional[int]) -> str:
+    config = _select(LoadStudyConfig, scale)
+    if batch_size is not None:
+        config = dataclasses.replace(config, max_batch_size=batch_size)
+    return format_load_study_table(run_load_study(config))
+
+
 _EXPERIMENTS: Dict[str, Callable[[str, Optional[int]], str]] = {
     "fig3": _run_fig3,
     "fig6": _run_fig6,
@@ -144,6 +155,7 @@ _EXPERIMENTS: Dict[str, Callable[[str, Optional[int]], str]] = {
     "constraints": _run_constraints,
     "snr": _run_snr,
     "pause": _run_pause,
+    "serve": _run_serve,
 }
 
 

@@ -19,6 +19,8 @@ E-F4      Figure 4 — soft-information constraints (ablation)
 E-AB1     Ablation — initialiser quality (GS / ZF / MMSE / sphere)
 E-X1      Extension — BER vs SNR under AWGN
 E-X2      Extension — the power of pausing (pause-duration ablation)
+E-SV      Serving — deadline-miss rate vs offered load across the
+          serialized / pipelined / pooled serving architectures
 ========  ==========================================================
 """
 
@@ -87,6 +89,13 @@ from repro.experiments.pause_ablation import (
     run_pause_ablation,
     format_pause_table,
 )
+from repro.experiments.load_study import (
+    LoadStudyConfig,
+    LoadStudyRow,
+    LoadStudyResult,
+    run_load_study,
+    format_load_study_table,
+)
 
 __all__ = [
     "InstanceBundle",
@@ -134,4 +143,9 @@ __all__ = [
     "PauseAblationRow",
     "run_pause_ablation",
     "format_pause_table",
+    "LoadStudyConfig",
+    "LoadStudyRow",
+    "LoadStudyResult",
+    "run_load_study",
+    "format_load_study_table",
 ]

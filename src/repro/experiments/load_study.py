@@ -1,0 +1,260 @@
+"""Experiment E-SV: offered-load sweep of the RAN serving architectures.
+
+The paper's Figure 2 argues that a centralised RAN should push detection jobs
+from many users through a *staged and pooled* hybrid plant.  This study
+quantifies the claim as deadline-miss-rate-vs-load curves: the same
+multi-user, multi-cell workload (scaled to a grid of offered-load factors) is
+served by three architectures —
+
+* **serialized** — one annealer worker, one job at a time (the single-server
+  baseline every comparison starts from);
+* **pipelined** — the Figure-2 two-stage pipeline
+  (:class:`repro.hybrid.HybridPipelineSimulator`), which overlaps classical
+  and quantum stages but still serves one job per stage at a time;
+* **pooled** — the serving subsystem (:class:`repro.serving.RANServingSimulator`):
+  K batched annealer workers, deadline-aware scheduling, compatible-job
+  coalescing and classical-fallback admission control.
+
+The sweep reports per-load deadline-miss rates and p95 latencies for each
+architecture, plus the pooled system's batch occupancy and demotion rate —
+showing how the batched pool absorbs load the serial designs drop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.hybrid.pipeline import HybridPipelineSimulator
+from repro.serving.backends import AnnealerServingBackend, ClassicalServingBackend
+from repro.serving.pool import BackendPool
+from repro.serving.report import ServingReport, format_serving_report
+from repro.serving.simulator import RANServingSimulator
+from repro.serving.workload import generate_serving_jobs, uniform_cell_profiles
+from repro.utils.rng import stable_seed
+from repro.wireless.mimo import MIMOConfig
+
+__all__ = [
+    "LoadStudyConfig",
+    "LoadStudyRow",
+    "LoadStudyResult",
+    "run_load_study",
+    "format_load_study_table",
+]
+
+
+@dataclass(frozen=True)
+class LoadStudyConfig:
+    """Configuration of the offered-load sweep.
+
+    Attributes
+    ----------
+    num_cells / users_per_cell / jobs_per_user:
+        Workload shape.  Users cycle through ``modulations`` (heterogeneous
+        population) and ``num_users`` spatial streams.
+    base_symbol_period_us:
+        Per-user mean channel-use spacing at load factor 1.0; a load factor
+        ``f`` divides it by ``f``.
+    load_factors:
+        The sweep grid.
+    turnaround_budget_us:
+        Relative deadline of every job.
+    num_reads / switch_s:
+        Reverse-annealing programme of the quantum stage(s).
+    annealer_workers / lanes / max_batch_size / policy / classical_workers /
+    admission_control:
+        Pooled-architecture knobs (the serialized arm always uses one
+        annealer worker with ``lanes=1`` and batch size 1).
+    arrival_process:
+        ``"poisson"`` (bursty) or ``"deterministic"``.
+    """
+
+    num_cells: int = 2
+    users_per_cell: int = 3
+    jobs_per_user: int = 8
+    num_users: int = 2
+    modulations: Tuple[str, ...] = ("QPSK", "16-QAM")
+    base_symbol_period_us: float = 900.0
+    load_factors: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+    turnaround_budget_us: float = 600.0
+    arrival_process: str = "poisson"
+    num_reads: int = 30
+    switch_s: float = 0.41
+    annealer_workers: int = 3
+    classical_workers: int = 1
+    lanes: int = 8
+    max_batch_size: Optional[int] = 8
+    policy: str = "edf"
+    admission_control: bool = True
+    base_seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "LoadStudyConfig":
+        """A minimal configuration used by the test suite."""
+        return cls(
+            num_cells=1,
+            users_per_cell=2,
+            jobs_per_user=4,
+            load_factors=(1.0, 4.0),
+            num_reads=10,
+            annealer_workers=2,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "LoadStudyConfig":
+        """A dense sweep over a larger cell layout (slow)."""
+        return cls(
+            num_cells=4,
+            users_per_cell=6,
+            jobs_per_user=20,
+            load_factors=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+            annealer_workers=4,
+        )
+
+
+@dataclass(frozen=True)
+class LoadStudyRow:
+    """Miss rate and latency of the three architectures at one offered load."""
+
+    load_factor: float
+    offered_load_jobs_per_ms: float
+    serialized_miss_rate: float
+    pipelined_miss_rate: float
+    pooled_miss_rate: float
+    serialized_p95_us: float
+    pipelined_p95_us: float
+    pooled_p95_us: float
+    pooled_mean_batch: float
+    pooled_demotion_rate: float
+
+
+@dataclass(frozen=True)
+class LoadStudyResult:
+    """Sweep rows plus the pooled system's detailed report at the peak load."""
+
+    rows: List[LoadStudyRow]
+    detail: ServingReport
+    config: LoadStudyConfig
+
+
+def _annealer_backend(config: LoadStudyConfig, lanes: int) -> AnnealerServingBackend:
+    return AnnealerServingBackend(
+        switch_s=config.switch_s,
+        num_reads=config.num_reads,
+        lanes=lanes,
+    )
+
+
+def _workload(config: LoadStudyConfig, load_factor: float):
+    configs = [MIMOConfig(config.num_users, modulation) for modulation in config.modulations]
+    profiles = uniform_cell_profiles(
+        num_cells=config.num_cells,
+        users_per_cell=config.users_per_cell,
+        configs=configs,
+        symbol_period_us=config.base_symbol_period_us / load_factor,
+        arrival_process=config.arrival_process,
+        turnaround_budget_us=config.turnaround_budget_us,
+    )
+    # The same seed family at every load factor: scaling the period rescales
+    # arrival times but keeps channel realisations comparable across loads.
+    return generate_serving_jobs(
+        profiles, config.jobs_per_user, rng=stable_seed("load-study", config.base_seed)
+    )
+
+
+def run_load_study(config: LoadStudyConfig = LoadStudyConfig()) -> LoadStudyResult:
+    """Sweep the load grid over the three serving architectures."""
+    if not config.load_factors:
+        raise ConfigurationError("load_factors must not be empty")
+    for factor in config.load_factors:
+        if factor <= 0:
+            raise ConfigurationError(f"load factors must be positive, got {factor}")
+
+    pipeline = HybridPipelineSimulator(
+        switch_s=config.switch_s,
+        num_reads=config.num_reads,
+        evaluate_solutions=False,
+    )
+
+    rows: List[LoadStudyRow] = []
+    detail: Optional[ServingReport] = None
+    for load_factor in config.load_factors:
+        jobs = _workload(config, load_factor)
+
+        serialized = RANServingSimulator(
+            pool=BackendPool([_annealer_backend(config, lanes=1)]),
+            policy="fifo",
+            max_batch_size=1,
+            admission_control=False,
+        ).run(jobs)
+
+        # The Figure-2 pipeline consumes the merged trace as a channel-use
+        # stream (re-indexed into global arrival order).
+        channel_uses = [
+            dataclasses.replace(job.channel_use, index=position)
+            for position, job in enumerate(jobs)
+        ]
+        pipelined = pipeline.run(
+            channel_uses, pipelined=True, rng=stable_seed("load-pipe", config.base_seed)
+        )
+
+        pooled_backends = [_annealer_backend(config, lanes=config.lanes)] * config.annealer_workers
+        pooled_backends += [ClassicalServingBackend()] * config.classical_workers
+        pooled = RANServingSimulator(
+            pool=BackendPool(pooled_backends),
+            policy=config.policy,
+            max_batch_size=config.max_batch_size,
+            admission_control=config.admission_control,
+        ).run(jobs)
+        detail = pooled
+
+        rows.append(
+            LoadStudyRow(
+                load_factor=load_factor,
+                offered_load_jobs_per_ms=pooled.offered_load_jobs_per_ms,
+                serialized_miss_rate=serialized.deadline_miss_rate or 0.0,
+                pipelined_miss_rate=pipelined.deadline_miss_rate or 0.0,
+                pooled_miss_rate=pooled.deadline_miss_rate or 0.0,
+                serialized_p95_us=serialized.p95_latency_us,
+                pipelined_p95_us=pipelined.p95_latency_us,
+                pooled_p95_us=pooled.p95_latency_us,
+                pooled_mean_batch=pooled.mean_batch_size,
+                pooled_demotion_rate=pooled.demotion_rate,
+            )
+        )
+
+    assert detail is not None
+    return LoadStudyResult(rows=rows, detail=detail, config=config)
+
+
+def format_load_study_table(result: LoadStudyResult) -> str:
+    """Render the sweep plus the peak-load pooled report as text."""
+    config = result.config
+    lines = [
+        "RAN serving load study - deadline-miss rate vs offered load",
+        f"{config.num_cells} cells x {config.users_per_cell} users, "
+        f"{config.jobs_per_user} jobs/user, budget {config.turnaround_budget_us:.0f} us, "
+        f"policy {config.policy}, {config.annealer_workers} annealer + "
+        f"{config.classical_workers} classical workers",
+        f"{'load':>6}  {'jobs/ms':>8}  {'miss(serial)':>12}  {'miss(pipe)':>10}  "
+        f"{'miss(pool)':>10}  {'p95(serial)':>11}  {'p95(pipe)':>9}  {'p95(pool)':>9}  "
+        f"{'mean B':>6}  {'demoted':>7}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.load_factor:>6.2f}  {row.offered_load_jobs_per_ms:>8.2f}  "
+            f"{row.serialized_miss_rate:>12.3f}  {row.pipelined_miss_rate:>10.3f}  "
+            f"{row.pooled_miss_rate:>10.3f}  {row.serialized_p95_us:>11.1f}  "
+            f"{row.pipelined_p95_us:>9.1f}  {row.pooled_p95_us:>9.1f}  "
+            f"{row.pooled_mean_batch:>6.2f}  {row.pooled_demotion_rate:>7.3f}"
+        )
+    lines.append("")
+    lines.append(
+        format_serving_report(
+            result.detail,
+            title=f"pooled serving report at load {result.rows[-1].load_factor:.2f}",
+        )
+    )
+    return "\n".join(lines)

@@ -47,7 +47,8 @@ from repro.annealing.schedule import reverse_anneal_schedule
 from repro.classical.base import QuboSolver
 from repro.classical.greedy import GreedySearchSolver
 from repro.exceptions import PipelineError
-from repro.transform.mimo_to_qubo import mimo_to_qubo
+from repro.serving.events import FifoServer, StageTiming
+from repro.transform.mimo_to_qubo import is_optimum, mimo_to_qubo
 from repro.utils.batching import iter_batches
 from repro.utils.rng import BatchRandomState, ensure_rng_batch
 from repro.wireless.traffic import ChannelUse
@@ -58,19 +59,6 @@ __all__ = [
     "PipelineReport",
     "HybridPipelineSimulator",
 ]
-
-
-@dataclass(frozen=True)
-class StageTiming:
-    """When one pipeline stage started and finished serving a job."""
-
-    start_us: float
-    finish_us: float
-
-    @property
-    def service_us(self) -> float:
-        """Service duration of the stage."""
-        return self.finish_us - self.start_us
 
 
 @dataclass(frozen=True)
@@ -218,24 +206,20 @@ class HybridPipelineSimulator:
                 samplesets.extend([None] * len(chunk))
 
         # ---- Discrete-event timing replay -----------------------------
+        # Each stage is a FIFO server; in the serialised baseline both stages
+        # share one combined server (see repro.serving.events.FifoServer for
+        # the advance rule both simulators delegate to).
         jobs: List[PipelineJobResult] = []
-        classical_free_at = 0.0
-        quantum_free_at = 0.0
-        combined_free_at = 0.0
+        classical_server = FifoServer()
+        quantum_server = FifoServer()
+        combined_server = FifoServer()
         classical_busy = 0.0
         quantum_busy = 0.0
 
         for channel_use, encoding, initial, sampleset in zip(
             channel_uses, encodings, initials, samplesets
         ):
-            ground_energy: Optional[float] = None
-            if channel_use.transmission.noise_variance == 0.0:
-                # In the noiseless protocol the transmitted vector is the exact
-                # ML solution, so the ground energy is known analytically.
-                transmitted_bits = encoding.symbols_to_bits(
-                    channel_use.transmission.transmitted_symbols
-                )
-                ground_energy = encoding.qubo.energy(transmitted_bits)
+            ground_energy = encoding.noiseless_ground_energy(channel_use.transmission)
 
             classical_service = max(initial.compute_time_us, 1e-9)
 
@@ -246,30 +230,25 @@ class HybridPipelineSimulator:
                 )
 
             best_energy = initial.energy
-            detected_optimum: Optional[bool] = None
             if sampleset is not None:
                 best_energy = min(best_energy, sampleset.lowest_energy())
-            if ground_energy is not None:
-                detected_optimum = bool(best_energy <= ground_energy + 1e-6)
+            detected_optimum = is_optimum(best_energy, ground_energy)
 
             arrival = channel_use.arrival_time_us
             if pipelined:
-                classical_start = max(arrival, classical_free_at)
-                classical_finish = classical_start + classical_service
-                classical_free_at = classical_finish
-                quantum_start = max(classical_finish, quantum_free_at)
-                quantum_finish = quantum_start + quantum_service
-                quantum_free_at = quantum_finish
+                classical_timing = classical_server.serve(arrival, classical_service)
+                quantum_timing = quantum_server.serve(
+                    classical_timing.finish_us, quantum_service
+                )
             else:
-                classical_start = max(arrival, combined_free_at)
-                classical_finish = classical_start + classical_service
-                quantum_start = classical_finish
-                quantum_finish = quantum_start + quantum_service
-                combined_free_at = quantum_finish
+                classical_timing = combined_server.serve(arrival, classical_service)
+                quantum_timing = combined_server.serve(
+                    classical_timing.finish_us, quantum_service
+                )
 
             classical_busy += classical_service
             quantum_busy += quantum_service
-            completion = quantum_finish
+            completion = quantum_timing.finish_us
             latency = completion - arrival
             met_deadline: Optional[bool] = None
             if channel_use.deadline_us is not None:
@@ -279,8 +258,8 @@ class HybridPipelineSimulator:
                 PipelineJobResult(
                     index=channel_use.index,
                     arrival_us=arrival,
-                    classical=StageTiming(classical_start, classical_finish),
-                    quantum=StageTiming(quantum_start, quantum_finish),
+                    classical=classical_timing,
+                    quantum=quantum_timing,
                     completion_us=completion,
                     latency_us=latency,
                     deadline_us=channel_use.deadline_us,

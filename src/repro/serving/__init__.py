@@ -1,0 +1,93 @@
+"""The deadline-aware RAN serving subsystem (paper Figure 2 at system scale).
+
+The packages below turn the repo's single-stream pipeline into a multi-user
+serving plant:
+
+* :mod:`repro.serving.events` — discrete-event primitives (FIFO servers and
+  a deterministic event queue) shared with the Figure-2 pipeline simulator;
+* :mod:`repro.serving.workload` — multi-user / multi-cell job generation on
+  top of :class:`repro.wireless.traffic.TrafficGenerator`;
+* :mod:`repro.serving.scheduler` — FIFO and EDF policies plus compatible-job
+  batch coalescing;
+* :mod:`repro.serving.backends` — annealer (batched, multi-lane) and
+  classical-fallback processing units with deterministic timing models;
+* :mod:`repro.serving.pool` — the heterogeneous worker pool;
+* :mod:`repro.serving.simulator` — the event-driven serving simulation with
+  admission-control demotion;
+* :mod:`repro.serving.report` — :class:`ServingReport` with latency
+  percentiles, deadline-miss rate, batch occupancy and per-backend
+  utilisation.
+
+Quickstart::
+
+    from repro.serving import (
+        RANServingSimulator, build_pool, uniform_cell_profiles,
+        generate_serving_jobs, format_serving_report,
+    )
+    from repro.wireless import MIMOConfig
+
+    profiles = uniform_cell_profiles(
+        num_cells=2, users_per_cell=3,
+        configs=[MIMOConfig(2, "QPSK"), MIMOConfig(2, "16-QAM")],
+        symbol_period_us=400.0,
+    )
+    jobs = generate_serving_jobs(profiles, jobs_per_user=8, rng=1)
+    report = RANServingSimulator(policy="edf").run(jobs, rng=2)
+    print(format_serving_report(report))
+"""
+
+from repro.serving.events import EventQueue, FifoServer, StageTiming
+from repro.serving.workload import (
+    ServingJob,
+    UserProfile,
+    generate_serving_jobs,
+    uniform_cell_profiles,
+)
+from repro.serving.scheduler import (
+    EdfPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    resolve_policy,
+    select_batch,
+)
+from repro.serving.backends import (
+    AnnealerServingBackend,
+    ClassicalServingBackend,
+    JobSolution,
+    ServingBackend,
+)
+from repro.serving.pool import BackendPool, Worker, build_pool
+from repro.serving.report import (
+    BackendUtilization,
+    JobOutcome,
+    ServingReport,
+    format_serving_report,
+)
+from repro.serving.simulator import RANServingSimulator
+
+__all__ = [
+    "EventQueue",
+    "FifoServer",
+    "StageTiming",
+    "ServingJob",
+    "UserProfile",
+    "generate_serving_jobs",
+    "uniform_cell_profiles",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "EdfPolicy",
+    "resolve_policy",
+    "select_batch",
+    "ServingBackend",
+    "AnnealerServingBackend",
+    "ClassicalServingBackend",
+    "JobSolution",
+    "BackendPool",
+    "Worker",
+    "build_pool",
+    "JobOutcome",
+    "BackendUtilization",
+    "ServingReport",
+    "format_serving_report",
+    "RANServingSimulator",
+]

@@ -1,0 +1,244 @@
+"""Processing backends of the RAN serving plant.
+
+The paper's hybrid plant mixes *quantum* processing units (reverse-annealing
+hardware fed through the batched engine) with *classical* processing units
+(software solvers that are slower per unit of solution quality but always
+available and deadline-predictable).  Each backend exposes two faces to the
+serving simulator:
+
+* a **timing model** — :meth:`ServingBackend.service_time_us` maps a batch of
+  jobs to the wall-clock the backend occupies a worker for, used by the
+  discrete-event scheduler; and
+* a **solution path** — :meth:`ServingBackend.solve` actually computes
+  detection solutions through the batched kernels, consuming one child
+  generator per job so results never depend on how the scheduler happened to
+  group jobs into batches.
+
+The annealer backend models multi-instance tiling: the device processes up to
+``lanes`` same-shape instances side by side per anneal shot sequence, which is
+where batching buys throughput (the batched `run_batch` kernels are the
+software counterpart).  The classical backend is a sequential software solver
+whose service time is linear in the submitted problem volume.
+
+Layering note: this module composes samplers and classical solvers directly
+and must **not** import :mod:`repro.hybrid` — the hybrid pipeline simulator
+imports :mod:`repro.serving.events`, so a serving→hybrid import would create
+a cycle.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.annealing.sampler import QuantumAnnealerSimulator
+from repro.annealing.schedule import reverse_anneal_schedule
+from repro.classical.base import QuboSolver
+from repro.classical.greedy import GreedySearchSolver
+from repro.classical.simulated_annealing import SimulatedAnnealingSolver
+from repro.exceptions import ConfigurationError
+from repro.transform.mimo_to_qubo import is_optimum, mimo_to_qubo
+from repro.serving.workload import ServingJob
+
+__all__ = [
+    "JobSolution",
+    "ServingBackend",
+    "AnnealerServingBackend",
+    "ClassicalServingBackend",
+]
+
+
+@dataclass(frozen=True)
+class JobSolution:
+    """Detection outcome of one job when solutions are evaluated.
+
+    ``detected_optimum`` is only available for noiseless transmissions,
+    where the transmitted vector is the exact ML solution (the paper's
+    evaluation protocol).
+    """
+
+    job_id: int
+    best_energy: float
+    detected_optimum: Optional[bool]
+
+
+def _solution(job: ServingJob, encoding, best_energy: float) -> JobSolution:
+    ground = encoding.noiseless_ground_energy(job.channel_use.transmission)
+    return JobSolution(
+        job_id=job.job_id,
+        best_energy=float(best_energy),
+        detected_optimum=is_optimum(best_energy, ground),
+    )
+
+
+class ServingBackend(abc.ABC):
+    """One processing unit type the backend pool can instantiate workers of."""
+
+    #: Human-readable backend name used in reports.
+    name: str = "serving-backend"
+
+    #: ``"annealer"`` or ``"classical"`` — drives scheduling/demotion policy.
+    kind: str = "annealer"
+
+    @abc.abstractmethod
+    def service_time_us(self, jobs: Sequence[ServingJob]) -> float:
+        """Modelled wall-clock the backend needs to process ``jobs`` as one batch."""
+
+    @abc.abstractmethod
+    def solve(
+        self, jobs: Sequence[ServingJob], children: Sequence[np.random.Generator]
+    ) -> List[JobSolution]:
+        """Compute detection solutions for ``jobs`` (child ``b`` serves job ``b``)."""
+
+
+class AnnealerServingBackend(ServingBackend):
+    """A reverse-annealing QPU worker fed through the batched engine.
+
+    Parameters
+    ----------
+    sampler:
+        Annealer simulator executing the reads (shared between workers is
+        fine: all randomness flows through per-job child generators).
+    initializer:
+        Classical initialiser that seeds each reverse anneal (the paper's
+        Greedy Search by default).
+    switch_s / pause_duration_us / num_reads:
+        Reverse-annealing programme.
+    lanes:
+        Multi-instance tiling capacity: how many same-shape instances the
+        device processes side by side per shot sequence.  A batch of ``B``
+        jobs costs ``ceil(B / lanes)`` shot sequences.
+    programming_overhead_us:
+        Per-submission programming/IO overhead, charged once per batch.
+    include_qpu_overheads:
+        When true, per-read readout and inter-sample delays from the device
+        model are added to the shot time (realistic access accounting).
+    init_time_per_variable_us:
+        Modelled classical initialisation cost per QUBO variable, charged per
+        job (kept decoupled from wall-clock measurements so the timing model
+        is deterministic).
+    """
+
+    kind = "annealer"
+
+    def __init__(
+        self,
+        sampler: Optional[QuantumAnnealerSimulator] = None,
+        initializer: Optional[QuboSolver] = None,
+        switch_s: float = 0.41,
+        pause_duration_us: float = 1.0,
+        num_reads: int = 50,
+        lanes: int = 8,
+        programming_overhead_us: float = 5.0,
+        include_qpu_overheads: bool = False,
+        init_time_per_variable_us: float = 0.01,
+        name: str = "annealer",
+    ) -> None:
+        if not 0.0 < switch_s < 1.0:
+            raise ConfigurationError(f"switch_s must lie strictly inside (0, 1), got {switch_s}")
+        if num_reads <= 0:
+            raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
+        if lanes <= 0:
+            raise ConfigurationError(f"lanes must be positive, got {lanes}")
+        if programming_overhead_us < 0:
+            raise ConfigurationError(
+                f"programming_overhead_us must be non-negative, got {programming_overhead_us}"
+            )
+        if init_time_per_variable_us < 0:
+            raise ConfigurationError(
+                f"init_time_per_variable_us must be non-negative, got {init_time_per_variable_us}"
+            )
+        self.sampler = sampler if sampler is not None else QuantumAnnealerSimulator()
+        self.initializer = initializer if initializer is not None else GreedySearchSolver()
+        self.schedule = reverse_anneal_schedule(switch_s, pause_duration_us)
+        self.switch_s = float(switch_s)
+        self.num_reads = int(num_reads)
+        self.lanes = int(lanes)
+        self.programming_overhead_us = float(programming_overhead_us)
+        self.include_qpu_overheads = bool(include_qpu_overheads)
+        self.init_time_per_variable_us = float(init_time_per_variable_us)
+        self.name = name
+
+    @property
+    def shot_time_us(self) -> float:
+        """Wall-clock of one full read sequence (all ``num_reads`` anneals)."""
+        per_read = self.schedule.duration_us
+        if self.include_qpu_overheads:
+            device = self.sampler.device
+            per_read += device.readout_time_us + device.inter_sample_delay_us
+        return per_read * self.num_reads
+
+    def service_time_us(self, jobs: Sequence[ServingJob]) -> float:
+        """Batch service time: programming + init + tiled shot sequences."""
+        if not jobs:
+            return 0.0
+        init_us = self.init_time_per_variable_us * sum(job.num_variables for job in jobs)
+        sequences = math.ceil(len(jobs) / self.lanes)
+        return self.programming_overhead_us + init_us + sequences * self.shot_time_us
+
+    def solve(
+        self, jobs: Sequence[ServingJob], children: Sequence[np.random.Generator]
+    ) -> List[JobSolution]:
+        """Initialise and reverse-anneal the batch through the batched kernels."""
+        encodings = [mimo_to_qubo(job.channel_use.transmission.instance) for job in jobs]
+        qubos = [encoding.qubo for encoding in encodings]
+        initials = self.initializer.solve_batch(qubos, list(children))
+        samplesets = self.sampler.sample_qubo_batch(
+            qubos,
+            self.schedule,
+            num_reads=self.num_reads,
+            initial_states=[initial.assignment for initial in initials],
+            rng=list(children),
+        )
+        solutions = []
+        for job, encoding, initial, sampleset in zip(jobs, encodings, initials, samplesets):
+            best_energy = initial.energy
+            if len(sampleset):
+                best_energy = min(best_energy, sampleset.lowest_energy())
+            solutions.append(_solution(job, encoding, best_energy))
+        return solutions
+
+
+class ClassicalServingBackend(ServingBackend):
+    """A classical-fallback worker running a software QUBO solver.
+
+    Deadline-pressured jobs are demoted here by admission control: the solver
+    is fast and predictable but offers no quantum refinement.  Service time
+    is sequential and linear in submitted problem volume.
+    """
+
+    kind = "classical"
+
+    def __init__(
+        self,
+        solver: Optional[QuboSolver] = None,
+        time_per_variable_us: float = 0.2,
+        name: str = "classical",
+    ) -> None:
+        if time_per_variable_us <= 0:
+            raise ConfigurationError(
+                f"time_per_variable_us must be positive, got {time_per_variable_us}"
+            )
+        self.solver = solver if solver is not None else SimulatedAnnealingSolver(num_sweeps=60)
+        self.time_per_variable_us = float(time_per_variable_us)
+        self.name = name
+
+    def service_time_us(self, jobs: Sequence[ServingJob]) -> float:
+        """Sequential software solve: cost accumulates across the batch."""
+        return self.time_per_variable_us * sum(job.num_variables for job in jobs)
+
+    def solve(
+        self, jobs: Sequence[ServingJob], children: Sequence[np.random.Generator]
+    ) -> List[JobSolution]:
+        """Solve the batch with the wrapped software solver."""
+        encodings = [mimo_to_qubo(job.channel_use.transmission.instance) for job in jobs]
+        qubos = [encoding.qubo for encoding in encodings]
+        results = self.solver.solve_batch(qubos, list(children))
+        return [
+            _solution(job, encoding, result.energy)
+            for job, encoding, result in zip(jobs, encodings, results)
+        ]

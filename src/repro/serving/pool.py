@@ -1,0 +1,109 @@
+"""The heterogeneous backend pool: workers wrapping serving backends.
+
+A :class:`BackendPool` holds K workers, each binding one
+:class:`~repro.serving.backends.ServingBackend` to one
+:class:`~repro.serving.events.FifoServer`.  Several workers may share a
+backend object (K identical QPUs); the pool only cares about each worker's
+availability timeline and per-worker statistics.  Workers are dispatched in
+index order, which keeps simulation runs deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.serving.backends import (
+    AnnealerServingBackend,
+    ClassicalServingBackend,
+    ServingBackend,
+)
+from repro.serving.events import FifoServer
+
+__all__ = ["Worker", "BackendPool", "build_pool"]
+
+
+class Worker:
+    """One schedulable processing unit: a backend plus its availability timeline."""
+
+    __slots__ = ("backend", "index", "server", "batches", "batch_sizes")
+
+    def __init__(self, backend: ServingBackend, index: int) -> None:
+        self.backend = backend
+        self.index = index
+        self.server = FifoServer()
+        self.batches = 0
+        self.batch_sizes: List[int] = []
+
+    @property
+    def name(self) -> str:
+        """Unique worker name: ``<backend>#<index>``."""
+        return f"{self.backend.name}#{self.index}"
+
+    @property
+    def kind(self) -> str:
+        """The worker's backend kind (``annealer`` or ``classical``)."""
+        return self.backend.kind
+
+    def record_batch(self, size: int) -> None:
+        """Track one dispatched batch for occupancy statistics."""
+        self.batches += 1
+        self.batch_sizes.append(size)
+
+    def reset(self) -> None:
+        """Fresh timeline and statistics (used between simulation runs)."""
+        self.server = FifoServer()
+        self.batches = 0
+        self.batch_sizes = []
+
+
+class BackendPool:
+    """An ordered collection of workers the scheduler dispatches onto."""
+
+    def __init__(self, backends: Sequence[ServingBackend]) -> None:
+        if not backends:
+            raise ConfigurationError("the backend pool must contain at least one backend")
+        self.workers = [Worker(backend, index) for index, backend in enumerate(backends)]
+
+    @property
+    def annealer_workers(self) -> List[Worker]:
+        """Workers backed by annealer (quantum) processing units."""
+        return [worker for worker in self.workers if worker.kind == "annealer"]
+
+    @property
+    def classical_workers(self) -> List[Worker]:
+        """Workers backed by classical-fallback processing units."""
+        return [worker for worker in self.workers if worker.kind == "classical"]
+
+    def idle_workers(self, now_us: float, kind: Optional[str] = None) -> List[Worker]:
+        """Workers free at ``now_us``, optionally filtered by backend kind."""
+        return [
+            worker
+            for worker in self.workers
+            if worker.server.idle_at(now_us) and (kind is None or worker.kind == kind)
+        ]
+
+
+def build_pool(
+    num_annealer_workers: int = 2,
+    num_classical_workers: int = 1,
+    annealer: Optional[AnnealerServingBackend] = None,
+    classical: Optional[ClassicalServingBackend] = None,
+) -> BackendPool:
+    """Convenience constructor for the common K-annealers + L-fallbacks pool.
+
+    All annealer workers share one backend object (identical devices) and all
+    classical workers share another; pass explicit backends to customise.
+    """
+    if num_annealer_workers < 0 or num_classical_workers < 0:
+        raise ConfigurationError("worker counts must be non-negative")
+    if num_annealer_workers + num_classical_workers == 0:
+        raise ConfigurationError("the pool needs at least one worker")
+    backends: List[ServingBackend] = []
+    if num_annealer_workers:
+        annealer_backend = annealer if annealer is not None else AnnealerServingBackend()
+        backends.extend([annealer_backend] * num_annealer_workers)
+    if num_classical_workers:
+        classical_backend = classical if classical is not None else ClassicalServingBackend()
+        backends.extend([classical_backend] * num_classical_workers)
+    return BackendPool(backends)

@@ -1,0 +1,170 @@
+"""Serving-layer result containers and report formatting.
+
+A serving run produces one :class:`JobOutcome` per submitted job — jobs that
+miss their deadline are *counted, never dropped* — and the aggregate
+:class:`ServingReport`: throughput, latency percentiles (p50/p95/p99),
+deadline-miss rate, demotion rate, batch occupancy and per-backend-worker
+utilisation.  These are the quantities the load-sweep study and the serving
+benchmark plot against offered load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["JobOutcome", "BackendUtilization", "ServingReport", "format_serving_report"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Per-job result of one serving simulation."""
+
+    job_id: int
+    user_id: int
+    cell_id: int
+    arrival_us: float
+    start_us: float
+    finish_us: float
+    deadline_us: Optional[float]
+    met_deadline: Optional[bool]
+    backend: str
+    backend_kind: str
+    demoted: bool
+    batch_size: int
+    best_energy: Optional[float] = None
+    detected_optimum: Optional[bool] = None
+
+    @property
+    def latency_us(self) -> float:
+        """Arrival-to-completion turnaround."""
+        return self.finish_us - self.arrival_us
+
+    @property
+    def queueing_us(self) -> float:
+        """Time spent waiting before service began."""
+        return self.start_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class BackendUtilization:
+    """Aggregate statistics of one worker in the pool."""
+
+    name: str
+    kind: str
+    jobs: int
+    batches: int
+    busy_us: float
+    utilization: float
+    mean_batch_size: float
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Aggregate outcome of one RAN serving simulation run."""
+
+    outcomes: List[JobOutcome]
+    policy: str
+    makespan_us: float
+    offered_load_jobs_per_ms: float
+    throughput_jobs_per_ms: float
+    mean_latency_us: float
+    p50_latency_us: float
+    p95_latency_us: float
+    p99_latency_us: float
+    deadline_miss_rate: Optional[float]
+    missed_jobs: int
+    demotion_rate: float
+    mean_batch_size: float
+    max_batch_size: int
+    backend_utilization: Tuple[BackendUtilization, ...]
+    optimum_rate: Optional[float]
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs processed (every submitted job is accounted for)."""
+        return len(self.outcomes)
+
+
+def build_serving_report(
+    outcomes: Sequence[JobOutcome],
+    policy: str,
+    backend_utilization: Sequence[BackendUtilization],
+    metadata: Optional[Dict] = None,
+) -> ServingReport:
+    """Aggregate per-job outcomes into a :class:`ServingReport`."""
+    outcomes = list(outcomes)
+    latencies = np.array([outcome.latency_us for outcome in outcomes])
+    arrivals = np.array([outcome.arrival_us for outcome in outcomes])
+    makespan = max(float(max(o.finish_us for o in outcomes) - arrivals.min()), 1e-9)
+
+    arrival_span = float(arrivals.max() - arrivals.min())
+    # A degenerate workload (single job, or all arrivals coincident) has no
+    # meaningful rate; report 0 rather than an absurd clamped division.
+    offered = len(outcomes) / (arrival_span / 1000.0) if arrival_span > 0.0 else 0.0
+
+    deadline_flags = [o.met_deadline for o in outcomes if o.met_deadline is not None]
+    miss_rate = (1.0 - float(np.mean(deadline_flags))) if deadline_flags else None
+    missed = sum(1 for flag in deadline_flags if not flag)
+
+    optimum_flags = [o.detected_optimum for o in outcomes if o.detected_optimum is not None]
+    optimum_rate = float(np.mean(optimum_flags)) if optimum_flags else None
+
+    batch_sizes = [o.batch_size for o in outcomes]
+    return ServingReport(
+        outcomes=outcomes,
+        policy=policy,
+        makespan_us=makespan,
+        offered_load_jobs_per_ms=float(offered),
+        throughput_jobs_per_ms=float(len(outcomes) / (makespan / 1000.0)),
+        mean_latency_us=float(np.mean(latencies)),
+        p50_latency_us=float(np.percentile(latencies, 50)),
+        p95_latency_us=float(np.percentile(latencies, 95)),
+        p99_latency_us=float(np.percentile(latencies, 99)),
+        deadline_miss_rate=miss_rate,
+        missed_jobs=missed,
+        demotion_rate=float(np.mean([o.demoted for o in outcomes])),
+        mean_batch_size=float(np.mean(batch_sizes)),
+        max_batch_size=int(max(batch_sizes)),
+        backend_utilization=tuple(backend_utilization),
+        optimum_rate=optimum_rate,
+        metadata=dict(metadata or {}),
+    )
+
+
+def format_serving_report(report: ServingReport, title: str = "RAN serving report") -> str:
+    """Render a :class:`ServingReport` as an aligned text table."""
+    lines = [
+        title,
+        f"{'policy':>26}  {report.policy}",
+        f"{'jobs served':>26}  {report.num_jobs}",
+        f"{'offered load (jobs/ms)':>26}  {report.offered_load_jobs_per_ms:.3f}",
+        f"{'throughput (jobs/ms)':>26}  {report.throughput_jobs_per_ms:.3f}",
+        f"{'mean latency (us)':>26}  {report.mean_latency_us:.1f}",
+        f"{'p50 latency (us)':>26}  {report.p50_latency_us:.1f}",
+        f"{'p95 latency (us)':>26}  {report.p95_latency_us:.1f}",
+        f"{'p99 latency (us)':>26}  {report.p99_latency_us:.1f}",
+    ]
+    if report.deadline_miss_rate is not None:
+        lines.append(
+            f"{'deadline miss rate':>26}  {report.deadline_miss_rate:.3f} "
+            f"({report.missed_jobs} missed)"
+        )
+    lines.append(f"{'demotion rate':>26}  {report.demotion_rate:.3f}")
+    lines.append(
+        f"{'batch occupancy':>26}  mean {report.mean_batch_size:.2f}, "
+        f"max {report.max_batch_size}"
+    )
+    if report.optimum_rate is not None:
+        lines.append(f"{'optimum detection rate':>26}  {report.optimum_rate:.3f}")
+    lines.append(f"{'per-backend utilisation':>26}")
+    for stats in report.backend_utilization:
+        lines.append(
+            f"{stats.name:>26}  {stats.kind:<9} jobs={stats.jobs:<5d} "
+            f"batches={stats.batches:<4d} mean B={stats.mean_batch_size:<5.2f} "
+            f"util={stats.utilization:.3f}"
+        )
+    return "\n".join(lines)

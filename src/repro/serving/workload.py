@@ -1,0 +1,243 @@
+"""Multi-user, multi-cell RAN detection workloads.
+
+The paper's Figure-2 vision is a *centralised* RAN: detection jobs from many
+users in many cells stream into one hybrid classical/quantum processing
+plant.  This module turns that picture into data the serving simulator can
+consume — each user is described by a :class:`UserProfile` (cell, link
+configuration or heterogeneous mix, traffic intensity, turnaround budget),
+per-user :class:`~repro.wireless.traffic.TrafficGenerator` streams are drawn
+from independent child generators, and the streams are merged into one
+arrival-ordered sequence of :class:`ServingJob` objects.
+
+Cell-level load skew (traffic hotspots) is expressed through per-cell load
+factors: a factor of 2 halves the symbol period of every user in that cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.wireless.mimo import MIMOConfig
+from repro.wireless.traffic import ChannelUse, TrafficGenerator
+
+__all__ = [
+    "UserProfile",
+    "ServingJob",
+    "uniform_cell_profiles",
+    "generate_serving_jobs",
+]
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Traffic description of one user equipment attached to a cell.
+
+    Attributes
+    ----------
+    user_id / cell_id:
+        Identity of the user and the cell it is attached to.
+    config:
+        The user's MIMO link configuration, or a sequence of configurations
+        forming a heterogeneous job mix (see
+        :class:`~repro.wireless.traffic.TrafficGenerator`).
+    symbol_period_us:
+        Mean spacing between the user's channel uses.
+    arrival_process:
+        ``"deterministic"`` or ``"poisson"`` (bursty uplink).
+    turnaround_budget_us:
+        Relative deadline of each of the user's jobs, or ``None``.
+    job_mix:
+        Mix sampling mode forwarded to the traffic generator.
+    phase_offset_us:
+        Start offset of the user's stream.  Every traffic stream begins at
+        relative time 0, so without offsets all users emit their first job
+        simultaneously — a synchronized burst no real cell exhibits.
+        :func:`uniform_cell_profiles` staggers users across one symbol
+        period by default.
+    """
+
+    user_id: int
+    cell_id: int
+    config: Union[MIMOConfig, Tuple[MIMOConfig, ...]]
+    symbol_period_us: float = 71.4
+    arrival_process: str = "poisson"
+    turnaround_budget_us: Optional[float] = 500.0
+    job_mix: str = "cyclic"
+    phase_offset_us: float = 0.0
+
+    def traffic_generator(self) -> TrafficGenerator:
+        """Build the traffic generator realising this profile."""
+        return TrafficGenerator(
+            self.config,
+            symbol_period_us=self.symbol_period_us,
+            arrival_process=self.arrival_process,
+            turnaround_budget_us=self.turnaround_budget_us,
+            job_mix=self.job_mix,
+        )
+
+
+@dataclass(frozen=True)
+class ServingJob:
+    """One detection job as seen by the serving layer.
+
+    Wraps a :class:`~repro.wireless.traffic.ChannelUse` with its origin
+    (user, cell) and a globally arrival-ordered ``job_id``.
+    """
+
+    job_id: int
+    user_id: int
+    cell_id: int
+    channel_use: ChannelUse
+
+    @property
+    def arrival_us(self) -> float:
+        """Arrival time at the central processing plant."""
+        return self.channel_use.arrival_time_us
+
+    @property
+    def deadline_us(self) -> Optional[float]:
+        """Absolute deadline, or ``None`` for best-effort jobs."""
+        return self.channel_use.deadline_us
+
+    @property
+    def has_deadline(self) -> bool:
+        """Whether the job carries a deadline."""
+        return self.channel_use.has_deadline
+
+    @property
+    def num_variables(self) -> int:
+        """QUBO size of the detection problem."""
+        return self.channel_use.qubo_variable_count
+
+    @property
+    def modulation(self) -> str:
+        """Modulation of the underlying channel use."""
+        return self.channel_use.modulation
+
+    @property
+    def compat_key(self) -> Tuple[int, str]:
+        """Batching compatibility key: jobs may share a batch only if equal.
+
+        An annealer submission programs one problem shape, so a batch must
+        not mix QUBO sizes (or modulations, whose decode paths differ).
+        """
+        return (self.num_variables, self.modulation)
+
+
+def uniform_cell_profiles(
+    num_cells: int,
+    users_per_cell: int,
+    configs: Sequence[MIMOConfig],
+    symbol_period_us: float = 71.4,
+    arrival_process: str = "poisson",
+    turnaround_budget_us: Optional[float] = 500.0,
+    cell_load_factors: Optional[Sequence[float]] = None,
+    job_mix: str = "cyclic",
+    stagger_phases: bool = True,
+) -> List[UserProfile]:
+    """Lay out ``num_cells * users_per_cell`` users, cycling link configs.
+
+    ``configs`` is cycled across users so a multi-entry sequence produces a
+    heterogeneous user population (e.g. alternating QPSK and 16-QAM users).
+    ``cell_load_factors`` scales each cell's traffic intensity — factor ``f``
+    divides the symbol period of that cell's users by ``f``, modelling
+    spatially skewed hotspot load.
+
+    With ``stagger_phases`` (default) each cell's users are offset evenly
+    across one (cell-scaled) symbol period, so the plant sees a steady
+    multi-user stream rather than an artificial synchronized burst at t=0.
+    """
+    if num_cells <= 0:
+        raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
+    if users_per_cell <= 0:
+        raise ConfigurationError(f"users_per_cell must be positive, got {users_per_cell}")
+    if not configs:
+        raise ConfigurationError("configs must not be empty")
+    factors = (
+        tuple(cell_load_factors) if cell_load_factors is not None else (1.0,) * num_cells
+    )
+    if len(factors) != num_cells:
+        raise ConfigurationError(
+            f"{len(factors)} cell_load_factors supplied for {num_cells} cells"
+        )
+    for factor in factors:
+        if factor <= 0:
+            raise ConfigurationError(f"cell load factors must be positive, got {factor}")
+
+    profiles: List[UserProfile] = []
+    user_id = 0
+    for cell_id in range(num_cells):
+        cell_period = symbol_period_us / factors[cell_id]
+        for position in range(users_per_cell):
+            profiles.append(
+                UserProfile(
+                    user_id=user_id,
+                    cell_id=cell_id,
+                    config=configs[user_id % len(configs)],
+                    symbol_period_us=cell_period,
+                    arrival_process=arrival_process,
+                    turnaround_budget_us=turnaround_budget_us,
+                    job_mix=job_mix,
+                    phase_offset_us=(
+                        cell_period * position / users_per_cell if stagger_phases else 0.0
+                    ),
+                )
+            )
+            user_id += 1
+    return profiles
+
+
+def generate_serving_jobs(
+    profiles: Sequence[UserProfile],
+    jobs_per_user: int,
+    rng: RandomState = None,
+) -> List[ServingJob]:
+    """Draw every user's stream and merge into one arrival-ordered job list.
+
+    Each profile consumes its own child generator (spawned in profile order
+    from the root seed), so the merged workload is reproducible and adding a
+    user never perturbs the other users' streams.  Ties in arrival time are
+    broken by ``(user_id, per-user index)`` for determinism.
+    """
+    if not profiles:
+        raise ConfigurationError("profiles must not be empty")
+    if jobs_per_user <= 0:
+        raise ConfigurationError(f"jobs_per_user must be positive, got {jobs_per_user}")
+    seen_ids = set()
+    for profile in profiles:
+        if profile.user_id in seen_ids:
+            raise ConfigurationError(f"duplicate user_id {profile.user_id} in profiles")
+        seen_ids.add(profile.user_id)
+
+    for profile in profiles:
+        if profile.phase_offset_us < 0:
+            raise ConfigurationError(
+                f"phase_offset_us must be non-negative, got {profile.phase_offset_us}"
+            )
+
+    root = ensure_rng(rng)
+    children = spawn_rngs(root, len(profiles))
+    tagged: List[Tuple[float, int, int, int, ChannelUse]] = []
+    for profile, child in zip(profiles, children):
+        for use in profile.traffic_generator().stream(jobs_per_user, child):
+            if profile.phase_offset_us:
+                use = dataclasses.replace(
+                    use,
+                    arrival_time_us=use.arrival_time_us + profile.phase_offset_us,
+                    deadline_us=(
+                        use.deadline_us + profile.phase_offset_us
+                        if use.deadline_us is not None
+                        else None
+                    ),
+                )
+            tagged.append((use.arrival_time_us, profile.user_id, use.index, profile.cell_id, use))
+
+    tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+    return [
+        ServingJob(job_id=job_id, user_id=user_id, cell_id=cell_id, channel_use=use)
+        for job_id, (_, user_id, _, cell_id, use) in enumerate(tagged)
+    ]

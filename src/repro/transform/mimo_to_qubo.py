@@ -33,7 +33,18 @@ from repro.wireless.mimo import MIMODetectionResult, MIMOInstance
 from repro.wireless.modulation import Modulation
 from repro.transform.symbol_mapping import SymbolBitMapping
 
-__all__ = ["MIMOQuboEncoding", "mimo_to_qubo", "decode_bits_to_symbols"]
+__all__ = [
+    "OPTIMUM_TOLERANCE",
+    "MIMOQuboEncoding",
+    "mimo_to_qubo",
+    "decode_bits_to_symbols",
+    "is_optimum",
+]
+
+#: Energy tolerance below which a solution counts as having reached the
+#: (noiseless-protocol) ground energy.  Shared by every simulator that
+#: reports optimum-detection rates so the evaluation rule cannot drift.
+OPTIMUM_TOLERANCE = 1e-6
 
 
 @dataclass(frozen=True)
@@ -71,6 +82,18 @@ class MIMOQuboEncoding:
     def modulation(self) -> Modulation:
         """The modulation scheme of the encoded instance."""
         return self.instance.modulation_scheme
+
+    def noiseless_ground_energy(self, transmission) -> "float | None":
+        """Exact ground energy of the encoded QUBO, if analytically known.
+
+        In the paper's noiseless protocol the transmitted vector *is* the ML
+        solution, so its QUBO energy is the ground energy; with noise the
+        ground energy is unknown and ``None`` is returned.
+        """
+        if transmission.noise_variance != 0.0:
+            return None
+        bits = self.symbols_to_bits(transmission.transmitted_symbols)
+        return float(self.qubo.energy(bits))
 
     # ------------------------------------------------------------------ #
     # Decoding
@@ -227,3 +250,13 @@ def mimo_to_qubo(instance: MIMOInstance) -> MIMOQuboEncoding:
 def decode_bits_to_symbols(encoding: MIMOQuboEncoding, qubo_bits: Sequence[int]) -> np.ndarray:
     """Convenience wrapper around :meth:`MIMOQuboEncoding.bits_to_symbols`."""
     return encoding.bits_to_symbols(qubo_bits)
+
+
+def is_optimum(best_energy: float, ground_energy: "float | None") -> "bool | None":
+    """The shared optimum-detection rule: best within tolerance of ground.
+
+    Returns ``None`` when the ground energy is unknown (noisy protocol).
+    """
+    if ground_energy is None:
+        return None
+    return bool(best_energy <= ground_energy + OPTIMUM_TOLERANCE)

@@ -12,12 +12,19 @@ Arrival processes supported:
   matching a continuously loaded OFDM frame;
 * poisson — exponentially distributed inter-arrival times with the same mean,
   modelling bursty uplink traffic.
+
+A generator may also carry a *heterogeneous job mix*: a sequence of MIMO
+configurations (different modulations and antenna counts) that successive
+channel uses draw from, either cyclically or at random.  This models a user
+whose scheduler adapts modulation and rank over time, and it is what the RAN
+serving simulator (:mod:`repro.serving`) uses to produce realistically mixed
+detection workloads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +50,9 @@ class ChannelUse:
         The simulated transmission (instance + ground truth payload).
     deadline_us:
         Absolute processing deadline (arrival + turnaround budget), or
-        ``None`` when no deadline applies.
+        ``None`` when no deadline applies.  When present it must lie strictly
+        after the arrival time — a job that is born already expired is a
+        configuration error, not a schedulable workload.
     """
 
     index: int
@@ -51,10 +60,27 @@ class ChannelUse:
     transmission: MIMOTransmission
     deadline_us: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        if self.deadline_us is not None and self.deadline_us <= self.arrival_time_us:
+            raise ConfigurationError(
+                f"deadline_us ({self.deadline_us}) must be strictly greater than "
+                f"arrival_time_us ({self.arrival_time_us})"
+            )
+
     @property
     def has_deadline(self) -> bool:
         """Whether this channel use carries a turnaround deadline."""
         return self.deadline_us is not None
+
+    @property
+    def qubo_variable_count(self) -> int:
+        """QUBO size of this channel use's detection problem."""
+        return self.transmission.instance.qubo_variable_count
+
+    @property
+    def modulation(self) -> str:
+        """Modulation name of this channel use."""
+        return self.transmission.instance.modulation
 
 
 class TrafficGenerator:
@@ -63,7 +89,9 @@ class TrafficGenerator:
     Parameters
     ----------
     config:
-        MIMO link configuration shared by every channel use.
+        MIMO link configuration shared by every channel use, or a sequence of
+        configurations forming a heterogeneous job mix (successive channel
+        uses then vary in modulation and/or antenna count).
     symbol_period_us:
         Mean spacing between successive channel uses, in microseconds.  The
         default of 71.4 us corresponds to an LTE OFDM symbol (including the
@@ -76,15 +104,22 @@ class TrafficGenerator:
         ``None`` to disable deadlines.
     channel_model:
         Channel model used to draw each channel use's realisation.
+    job_mix:
+        How a multi-configuration mix is sampled: ``"cyclic"`` walks the
+        sequence round-robin (deterministic), ``"random"`` draws uniformly
+        per channel use from the stream's generator.  Ignored for a single
+        configuration, where no mix randomness is ever consumed — existing
+        single-configuration streams are unchanged.
     """
 
     def __init__(
         self,
-        config: MIMOConfig,
+        config: Union[MIMOConfig, Sequence[MIMOConfig]],
         symbol_period_us: float = 71.4,
         arrival_process: str = "deterministic",
         turnaround_budget_us: Optional[float] = None,
         channel_model: Optional[ChannelModel] = None,
+        job_mix: str = "cyclic",
     ) -> None:
         if symbol_period_us <= 0:
             raise ConfigurationError(
@@ -99,11 +134,35 @@ class TrafficGenerator:
             raise ConfigurationError(
                 f"turnaround_budget_us must be positive, got {turnaround_budget_us}"
             )
-        self.config = config
+        if job_mix not in ("cyclic", "random"):
+            raise ConfigurationError(
+                f"job_mix must be 'cyclic' or 'random', got {job_mix!r}"
+            )
+        configs: Tuple[MIMOConfig, ...]
+        if isinstance(config, MIMOConfig):
+            configs = (config,)
+        else:
+            configs = tuple(config)
+            if not configs:
+                raise ConfigurationError("config sequence must not be empty")
+            for item in configs:
+                if not isinstance(item, MIMOConfig):
+                    raise ConfigurationError(
+                        f"config sequence must contain MIMOConfig objects, got "
+                        f"{type(item).__name__}"
+                    )
+        self.configs = configs
+        self.config = configs[0]
         self.symbol_period_us = float(symbol_period_us)
         self.arrival_process = arrival_process
         self.turnaround_budget_us = turnaround_budget_us
         self.channel_model = channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
+        self.job_mix = job_mix
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the stream mixes more than one link configuration."""
+        return len(self.configs) > 1
 
     def generate(self, count: int, rng: RandomState = None) -> List[ChannelUse]:
         """Materialise ``count`` channel uses as a list."""
@@ -118,7 +177,8 @@ class TrafficGenerator:
         for index in range(count):
             if index > 0:
                 arrival_time += self._inter_arrival(generator)
-            transmission = simulate_transmission(self.config, self.channel_model, generator)
+            config = self._config_for(index, generator)
+            transmission = simulate_transmission(config, self.channel_model, generator)
             deadline = (
                 arrival_time + self.turnaround_budget_us
                 if self.turnaround_budget_us is not None
@@ -131,11 +191,23 @@ class TrafficGenerator:
                 deadline_us=deadline,
             )
 
+    def _config_for(self, index: int, rng: np.random.Generator) -> MIMOConfig:
+        if len(self.configs) == 1:
+            return self.configs[0]
+        if self.job_mix == "cyclic":
+            return self.configs[index % len(self.configs)]
+        return self.configs[int(rng.integers(len(self.configs)))]
+
     def _inter_arrival(self, rng: np.random.Generator) -> float:
         if self.arrival_process == "deterministic":
             return self.symbol_period_us
         return float(rng.exponential(self.symbol_period_us))
 
     def offered_load_bits_per_us(self) -> float:
-        """Average offered payload load in bits per microsecond."""
-        return self.config.bits_per_channel_use / self.symbol_period_us
+        """Average offered payload load in bits per microsecond.
+
+        For a heterogeneous mix this is the mean over the mix (exact for the
+        cyclic mix, the expectation for the random mix).
+        """
+        mean_bits = float(np.mean([config.bits_per_channel_use for config in self.configs]))
+        return mean_bits / self.symbol_period_us

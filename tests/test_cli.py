@@ -42,3 +42,15 @@ class TestMain:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "pipelined" in captured.out
+
+    def test_runs_serve_quick(self, capsys):
+        exit_code = cli.main(["serve", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "deadline-miss rate vs offered load" in captured.out
+        assert "pooled serving report" in captured.out
+
+    def test_serve_accepts_batch_size(self, capsys):
+        exit_code = cli.main(["serve", "--quick", "--batch-size", "2"])
+        assert exit_code == 0
+        assert "deadline-miss" in capsys.readouterr().out
