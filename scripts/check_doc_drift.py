@@ -1,0 +1,62 @@
+"""CI doc-drift check: the CLI surface must be documented in docs/cli.md.
+
+Walks the ``repro-experiments`` argument parser and asserts that every
+registered subcommand (experiment name) and every option flag appears
+somewhere in ``docs/cli.md``.  New CLI surface therefore cannot land without
+its documentation — the docs can drift in prose, but never silently lose an
+entry point.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/check_doc_drift.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+
+def cli_surface() -> list:
+    """Every subcommand and option flag the parser registers."""
+    parser = build_parser()
+    tokens = []
+    for action in parser._actions:  # argparse has no public introspection API
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                tokens.append(option)  # --help is argparse's, not ours
+        if action.dest == "experiment" and action.choices:
+            tokens.extend(sorted(action.choices))
+    return tokens
+
+
+def main() -> int:
+    doc_path = REPO_ROOT / "docs" / "cli.md"
+    if not doc_path.exists():
+        print(f"FAIL: {doc_path} does not exist", file=sys.stderr)
+        return 1
+    document = doc_path.read_text(encoding="utf-8")
+
+    missing = [token for token in cli_surface() if token not in document]
+    if missing:
+        print(
+            "FAIL: CLI surface missing from docs/cli.md: " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        print(
+            "document every subcommand and flag in docs/cli.md (the doc-drift "
+            "check matches plain substrings)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"doc-drift check: {len(cli_surface())} CLI tokens all present in docs/cli.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ Installed as ``repro-experiments``::
     repro-experiments snr             # extension: BER vs SNR under AWGN
     repro-experiments pause           # extension: the power of pausing
     repro-experiments serve           # serving layer: multi-user load sweep
+    repro-experiments scenarios       # time-varying scenarios: static vs autoscaled
     repro-experiments all             # everything, in order
 
 ``--paper-scale`` switches the configurations that support it to the paper's
@@ -39,6 +40,7 @@ from repro.experiments import (
     InitializerAblationConfig,
     LoadStudyConfig,
     PauseAblationConfig,
+    ScenarioStudyConfig,
     PipelineStudyConfig,
     SNRStudyConfig,
     SoftConstraintConfig,
@@ -51,6 +53,7 @@ from repro.experiments import (
     format_load_study_table,
     format_pause_table,
     format_pipeline_table,
+    format_scenario_table,
     format_snr_table,
     format_soft_constraint_table,
     run_figure3,
@@ -62,6 +65,7 @@ from repro.experiments import (
     run_load_study,
     run_pause_ablation,
     run_pipeline_study,
+    run_scenario_study,
     run_snr_study,
     run_soft_constraint_study,
 )
@@ -144,6 +148,13 @@ def _run_serve(scale: str, batch_size: Optional[int]) -> str:
     return format_load_study_table(run_load_study(config))
 
 
+def _run_scenarios(scale: str, batch_size: Optional[int]) -> str:
+    config = _select(ScenarioStudyConfig, scale)
+    if batch_size is not None:
+        config = dataclasses.replace(config, max_batch_size=batch_size)
+    return format_scenario_table(run_scenario_study(config))
+
+
 _EXPERIMENTS: Dict[str, Callable[[str, Optional[int]], str]] = {
     "fig3": _run_fig3,
     "fig6": _run_fig6,
@@ -156,6 +167,7 @@ _EXPERIMENTS: Dict[str, Callable[[str, Optional[int]], str]] = {
     "snr": _run_snr,
     "pause": _run_pause,
     "serve": _run_serve,
+    "scenarios": _run_scenarios,
 }
 
 

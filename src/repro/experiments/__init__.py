@@ -21,6 +21,8 @@ E-X1      Extension — BER vs SNR under AWGN
 E-X2      Extension — the power of pausing (pause-duration ablation)
 E-SV      Serving — deadline-miss rate vs offered load across the
           serialized / pipelined / pooled serving architectures
+E-SC      Scenarios — static vs autoscaled pools across the
+          time-varying network scenario catalog
 ========  ==========================================================
 """
 
@@ -96,6 +98,13 @@ from repro.experiments.load_study import (
     run_load_study,
     format_load_study_table,
 )
+from repro.experiments.scenario_study import (
+    ScenarioStudyConfig,
+    ScenarioStudyRow,
+    ScenarioStudyResult,
+    run_scenario_study,
+    format_scenario_table,
+)
 
 __all__ = [
     "InstanceBundle",
@@ -148,4 +157,9 @@ __all__ = [
     "LoadStudyResult",
     "run_load_study",
     "format_load_study_table",
+    "ScenarioStudyConfig",
+    "ScenarioStudyRow",
+    "ScenarioStudyResult",
+    "run_scenario_study",
+    "format_scenario_table",
 ]

@@ -7,6 +7,13 @@ serving plant:
   a deterministic event queue) shared with the Figure-2 pipeline simulator;
 * :mod:`repro.serving.workload` — multi-user / multi-cell job generation on
   top of :class:`repro.wireless.traffic.TrafficGenerator`;
+* :mod:`repro.serving.scenarios` — time-varying load scenarios: composable
+  :class:`LoadPhase` segments (diurnal waves, flash crowds, hotspot drift,
+  cell outages) stitched into a named :class:`NetworkScenario` catalog that
+  modulates per-cell arrival intensity over simulated time;
+* :mod:`repro.serving.autoscale` — the elastic pool
+  (:class:`ElasticBackendPool`) and the queue-depth / deadline-pressure
+  :class:`AutoscaleController` that flexes the active worker count;
 * :mod:`repro.serving.scheduler` — FIFO and EDF policies plus compatible-job
   batch coalescing;
 * :mod:`repro.serving.backends` — annealer (batched, multi-lane) and
@@ -37,11 +44,28 @@ Quickstart::
 """
 
 from repro.serving.events import EventQueue, FifoServer, StageTiming
+from repro.serving.scenarios import (
+    CellOutagePhase,
+    ConstantPhase,
+    DiurnalPhase,
+    FlashCrowdPhase,
+    HotspotDriftPhase,
+    LoadPhase,
+    NetworkScenario,
+    SCENARIO_NAMES,
+    build_scenario,
+)
 from repro.serving.workload import (
     ServingJob,
     UserProfile,
     generate_serving_jobs,
     uniform_cell_profiles,
+)
+from repro.serving.autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleEvent,
+    ElasticBackendPool,
 )
 from repro.serving.scheduler import (
     EdfPolicy,
@@ -69,6 +93,19 @@ __all__ = [
     "EventQueue",
     "FifoServer",
     "StageTiming",
+    "LoadPhase",
+    "ConstantPhase",
+    "DiurnalPhase",
+    "FlashCrowdPhase",
+    "HotspotDriftPhase",
+    "CellOutagePhase",
+    "NetworkScenario",
+    "SCENARIO_NAMES",
+    "build_scenario",
+    "AutoscaleConfig",
+    "AutoscaleController",
+    "AutoscaleEvent",
+    "ElasticBackendPool",
     "ServingJob",
     "UserProfile",
     "generate_serving_jobs",

@@ -24,9 +24,16 @@ __all__ = ["Worker", "BackendPool", "build_pool"]
 
 
 class Worker:
-    """One schedulable processing unit: a backend plus its availability timeline."""
+    """One schedulable processing unit: a backend plus its availability timeline.
 
-    __slots__ = ("backend", "index", "server", "batches", "batch_sizes")
+    ``active`` and ``available_from_us`` support elastic pools (see
+    :class:`repro.serving.autoscale.ElasticBackendPool`): a parked worker
+    (``active=False``) never receives work, and a freshly activated worker is
+    warming up until ``available_from_us``.  Static pools leave both at their
+    defaults (always active, available from t=0).
+    """
+
+    __slots__ = ("backend", "index", "server", "batches", "batch_sizes", "active", "available_from_us")
 
     def __init__(self, backend: ServingBackend, index: int) -> None:
         self.backend = backend
@@ -34,6 +41,8 @@ class Worker:
         self.server = FifoServer()
         self.batches = 0
         self.batch_sizes: List[int] = []
+        self.active = True
+        self.available_from_us = 0.0
 
     @property
     def name(self) -> str:
@@ -45,6 +54,14 @@ class Worker:
         """The worker's backend kind (``annealer`` or ``classical``)."""
         return self.backend.kind
 
+    def dispatchable_at(self, now_us: float) -> bool:
+        """Whether the worker can accept a batch at ``now_us``."""
+        return (
+            self.active
+            and self.available_from_us <= now_us + 1e-12
+            and self.server.idle_at(now_us)
+        )
+
     def record_batch(self, size: int) -> None:
         """Track one dispatched batch for occupancy statistics."""
         self.batches += 1
@@ -55,6 +72,8 @@ class Worker:
         self.server = FifoServer()
         self.batches = 0
         self.batch_sizes = []
+        self.active = True
+        self.available_from_us = 0.0
 
 
 class BackendPool:
@@ -75,13 +94,28 @@ class BackendPool:
         """Workers backed by classical-fallback processing units."""
         return [worker for worker in self.workers if worker.kind == "classical"]
 
+    @property
+    def active_annealer_workers(self) -> List[Worker]:
+        """Annealer workers currently part of the schedulable pool.
+
+        In a static pool this is every annealer worker; an elastic pool
+        excludes parked workers (warming workers count as active — they are
+        committed capacity, just not dispatchable yet).
+        """
+        return [worker for worker in self.annealer_workers if worker.active]
+
     def idle_workers(self, now_us: float, kind: Optional[str] = None) -> List[Worker]:
-        """Workers free at ``now_us``, optionally filtered by backend kind."""
+        """Dispatchable workers at ``now_us``, optionally filtered by kind."""
         return [
             worker
             for worker in self.workers
-            if worker.server.idle_at(now_us) and (kind is None or worker.kind == kind)
+            if worker.dispatchable_at(now_us) and (kind is None or worker.kind == kind)
         ]
+
+    def reset(self) -> None:
+        """Clear every worker's timeline and statistics between runs."""
+        for worker in self.workers:
+            worker.reset()
 
 
 def build_pool(

@@ -95,8 +95,35 @@ def build_serving_report(
     backend_utilization: Sequence[BackendUtilization],
     metadata: Optional[Dict] = None,
 ) -> ServingReport:
-    """Aggregate per-job outcomes into a :class:`ServingReport`."""
+    """Aggregate per-job outcomes into a :class:`ServingReport`.
+
+    Degenerate inputs stay well-defined: an empty outcome list (a run that
+    completed no jobs) yields a zeroed report with ``deadline_miss_rate``
+    and ``optimum_rate`` of ``None``, and a single job reports its own
+    latency at every percentile with an offered load of 0 (a lone arrival
+    has no meaningful rate).
+    """
     outcomes = list(outcomes)
+    if not outcomes:
+        return ServingReport(
+            outcomes=[],
+            policy=policy,
+            makespan_us=0.0,
+            offered_load_jobs_per_ms=0.0,
+            throughput_jobs_per_ms=0.0,
+            mean_latency_us=0.0,
+            p50_latency_us=0.0,
+            p95_latency_us=0.0,
+            p99_latency_us=0.0,
+            deadline_miss_rate=None,
+            missed_jobs=0,
+            demotion_rate=0.0,
+            mean_batch_size=0.0,
+            max_batch_size=0,
+            backend_utilization=tuple(backend_utilization),
+            optimum_rate=None,
+            metadata=dict(metadata or {}),
+        )
     latencies = np.array([outcome.latency_us for outcome in outcomes])
     arrivals = np.array([outcome.arrival_us for outcome in outcomes])
     makespan = max(float(max(o.finish_us for o in outcomes) - arrivals.min()), 1e-9)

@@ -1,0 +1,445 @@
+"""Time-varying network load scenarios for the RAN serving layer.
+
+The load-sweep study (PR 2) exercises *stationary* traffic: every cell keeps
+one fixed hotspot factor for the whole run.  Real networks drift — demand
+follows diurnal waves, flash crowds erupt around events, hotspots migrate
+across the cell grid as users move, and cell outages spill traffic onto
+neighbouring cells.  This module expresses those dynamics as composable
+:class:`LoadPhase` segments stitched into a :class:`NetworkScenario`: a named
+timeline that maps ``(cell_id, time)`` to an *intensity multiplier* on each
+cell's nominal arrival rate.
+
+The multiplier field drives piecewise-inhomogeneous Poisson arrivals via
+thinning (see :meth:`repro.wireless.traffic.TrafficGenerator.stream_modulated`
+and :func:`repro.serving.workload.generate_serving_jobs`), so a scenario
+changes *when and where* jobs arrive while the per-user child-generator
+discipline keeps every workload exactly reproducible for a fixed seed.
+
+A catalog of named, documented scenarios is exposed through
+:func:`build_scenario` / :data:`SCENARIO_NAMES`; the parameters and phase
+timelines are described in ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "LoadPhase",
+    "ConstantPhase",
+    "DiurnalPhase",
+    "FlashCrowdPhase",
+    "HotspotDriftPhase",
+    "CellOutagePhase",
+    "NetworkScenario",
+    "SCENARIO_NAMES",
+    "build_scenario",
+]
+
+_EPS = 1e-9
+
+
+class LoadPhase(abc.ABC):
+    """One segment of a scenario timeline.
+
+    A phase covers ``duration_us`` of simulated time and maps each cell and
+    each *phase-local* instant to a non-negative intensity multiplier on the
+    cell's nominal arrival rate (1.0 = nominal, 0.0 = silent).
+    """
+
+    duration_us: float
+
+    @abc.abstractmethod
+    def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
+        """Intensity multiplier for ``cell_id`` at phase-local time ``t_us``."""
+
+    @abc.abstractmethod
+    def peak_intensity(self) -> float:
+        """A tight upper bound on :meth:`intensity` over all cells and times.
+
+        Used as the majorising rate of the thinning sampler — it must never
+        be exceeded, and the closer it is to the true supremum the fewer
+        candidate arrivals are rejected.
+        """
+
+    def target_cells(self) -> Tuple[int, ...]:
+        """Cell ids this phase singles out (validated against the grid)."""
+        return ()
+
+    def _check_duration(self) -> None:
+        if self.duration_us <= 0:
+            raise ConfigurationError(
+                f"phase duration_us must be positive, got {self.duration_us}"
+            )
+
+
+@dataclass(frozen=True)
+class ConstantPhase(LoadPhase):
+    """Uniform load at ``level`` times the nominal rate on every cell."""
+
+    duration_us: float
+    level: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._check_duration()
+        if self.level < 0:
+            raise ConfigurationError(f"level must be non-negative, got {self.level}")
+
+    def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
+        return self.level
+
+    def peak_intensity(self) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class DiurnalPhase(LoadPhase):
+    """A sinusoidal day/night wave, optionally phase-lagged across the grid.
+
+    Cell ``c`` sees ``base * (1 + amplitude * sin(2*pi*(cycles * t/duration -
+    lag)))`` where ``lag = cell_lag_fraction * c / num_cells`` — a non-zero
+    ``cell_lag_fraction`` makes the demand crest sweep across the cell grid
+    (morning in cell 0, evening in the last cell) instead of breathing in
+    unison.
+    """
+
+    duration_us: float
+    base: float = 1.0
+    amplitude: float = 0.5
+    cycles: float = 1.0
+    cell_lag_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._check_duration()
+        if self.base <= 0:
+            raise ConfigurationError(f"base must be positive, got {self.base}")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ConfigurationError(
+                f"amplitude must lie in [0, 1], got {self.amplitude}"
+            )
+        if self.cycles <= 0:
+            raise ConfigurationError(f"cycles must be positive, got {self.cycles}")
+
+    def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
+        lag = self.cell_lag_fraction * cell_id / max(num_cells, 1)
+        wave = math.sin(2.0 * math.pi * (self.cycles * t_us / self.duration_us - lag))
+        return self.base * (1.0 + self.amplitude * wave)
+
+    def peak_intensity(self) -> float:
+        return self.base * (1.0 + self.amplitude)
+
+
+@dataclass(frozen=True)
+class FlashCrowdPhase(LoadPhase):
+    """A localized demand spike: one cell ramps to ``peak`` and back down.
+
+    The target cell's multiplier ramps linearly from ``background`` to
+    ``peak`` over the first ``ramp_fraction`` of the phase, holds the peak,
+    then ramps back down over the last ``ramp_fraction``.  Every other cell
+    stays at ``background``.
+    """
+
+    duration_us: float
+    cell_id: int
+    peak: float = 6.0
+    ramp_fraction: float = 0.25
+    background: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._check_duration()
+        if self.cell_id < 0:
+            raise ConfigurationError(f"cell_id must be non-negative, got {self.cell_id}")
+        if self.peak < self.background:
+            raise ConfigurationError(
+                f"peak ({self.peak}) must be >= background ({self.background})"
+            )
+        if self.background < 0:
+            raise ConfigurationError(
+                f"background must be non-negative, got {self.background}"
+            )
+        if not 0.0 < self.ramp_fraction <= 0.5:
+            raise ConfigurationError(
+                f"ramp_fraction must lie in (0, 0.5], got {self.ramp_fraction}"
+            )
+
+    def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
+        if cell_id != self.cell_id:
+            return self.background
+        u = min(max(t_us / self.duration_us, 0.0), 1.0)
+        if u < self.ramp_fraction:
+            weight = u / self.ramp_fraction
+        elif u > 1.0 - self.ramp_fraction:
+            weight = (1.0 - u) / self.ramp_fraction
+        else:
+            weight = 1.0
+        return self.background + (self.peak - self.background) * weight
+
+    def peak_intensity(self) -> float:
+        return self.peak
+
+    def target_cells(self) -> Tuple[int, ...]:
+        return (self.cell_id,)
+
+
+@dataclass(frozen=True)
+class HotspotDriftPhase(LoadPhase):
+    """A hotspot that migrates across the cell grid over the phase.
+
+    The hotspot centre moves linearly from cell 0 to cell ``num_cells - 1``;
+    a cell within ``width_cells`` of the centre is boosted toward ``peak``
+    with a triangular profile, modelling a crowd (commuters, a convoy)
+    traversing the coverage area.
+    """
+
+    duration_us: float
+    peak: float = 4.0
+    width_cells: float = 1.0
+    background: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._check_duration()
+        if self.peak < self.background:
+            raise ConfigurationError(
+                f"peak ({self.peak}) must be >= background ({self.background})"
+            )
+        if self.background < 0:
+            raise ConfigurationError(
+                f"background must be non-negative, got {self.background}"
+            )
+        if self.width_cells <= 0:
+            raise ConfigurationError(
+                f"width_cells must be positive, got {self.width_cells}"
+            )
+
+    def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
+        u = min(max(t_us / self.duration_us, 0.0), 1.0)
+        centre = u * max(num_cells - 1, 0)
+        proximity = max(0.0, 1.0 - abs(cell_id - centre) / self.width_cells)
+        return self.background + (self.peak - self.background) * proximity
+
+    def peak_intensity(self) -> float:
+        return self.peak
+
+
+@dataclass(frozen=True)
+class CellOutagePhase(LoadPhase):
+    """A cell goes dark and its traffic spills onto the neighbouring cells.
+
+    The outage cell's multiplier drops to ``residual`` (0 by default — the
+    cell is silent) and ``spill_fraction`` of its nominal load is split
+    evenly between its grid neighbours (``cell_id - 1`` and ``cell_id + 1``
+    where they exist), modelling users re-attaching to adjacent cells.  The
+    remaining cells stay at ``background``.
+    """
+
+    duration_us: float
+    cell_id: int
+    spill_fraction: float = 1.0
+    background: float = 1.0
+    residual: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._check_duration()
+        if self.cell_id < 0:
+            raise ConfigurationError(f"cell_id must be non-negative, got {self.cell_id}")
+        if not 0.0 <= self.spill_fraction <= 1.0:
+            raise ConfigurationError(
+                f"spill_fraction must lie in [0, 1], got {self.spill_fraction}"
+            )
+        if self.background <= 0:
+            raise ConfigurationError(
+                f"background must be positive, got {self.background}"
+            )
+        if not 0.0 <= self.residual < self.background:
+            raise ConfigurationError(
+                f"residual must lie in [0, background), got {self.residual}"
+            )
+
+    def _neighbours(self, num_cells: int) -> Tuple[int, ...]:
+        return tuple(
+            cell
+            for cell in (self.cell_id - 1, self.cell_id + 1)
+            if 0 <= cell < num_cells
+        )
+
+    def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
+        if cell_id == self.cell_id:
+            return self.residual
+        neighbours = self._neighbours(num_cells)
+        if cell_id in neighbours:
+            spilt = self.spill_fraction * (self.background - self.residual)
+            return self.background + spilt / len(neighbours)
+        return self.background
+
+    def peak_intensity(self) -> float:
+        # Worst case: a single neighbour absorbs the whole spilt load.
+        return self.background + self.spill_fraction * (self.background - self.residual)
+
+    def target_cells(self) -> Tuple[int, ...]:
+        return (self.cell_id,)
+
+
+@dataclass(frozen=True)
+class NetworkScenario:
+    """A named timeline of :class:`LoadPhase` segments over a cell grid.
+
+    ``intensity(cell_id, t_us)`` evaluates the phase containing absolute
+    time ``t_us`` (phases abut; time before 0 or at/after ``duration_us``
+    yields 0 — no arrivals are generated outside the scenario horizon).
+    """
+
+    name: str
+    num_cells: int
+    phases: Tuple[LoadPhase, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_cells <= 0:
+            raise ConfigurationError(
+                f"num_cells must be positive, got {self.num_cells}"
+            )
+        if not self.phases:
+            raise ConfigurationError("a scenario needs at least one phase")
+        for phase in self.phases:
+            if not isinstance(phase, LoadPhase):
+                raise ConfigurationError(
+                    f"phases must be LoadPhase instances, got {type(phase).__name__}"
+                )
+            for cell in phase.target_cells():
+                if not 0 <= cell < self.num_cells:
+                    raise ConfigurationError(
+                        f"{type(phase).__name__} targets cell {cell}, outside the "
+                        f"{self.num_cells}-cell grid"
+                    )
+
+    @property
+    def duration_us(self) -> float:
+        """Total simulated-time horizon covered by the phases."""
+        return sum(phase.duration_us for phase in self.phases)
+
+    def phase_at(self, t_us: float) -> Tuple[LoadPhase, float]:
+        """The phase containing absolute time ``t_us`` and the local offset."""
+        if t_us < 0 or t_us >= self.duration_us:
+            raise ConfigurationError(
+                f"t_us {t_us} outside the scenario horizon [0, {self.duration_us})"
+            )
+        start = 0.0
+        for phase in self.phases:
+            if t_us < start + phase.duration_us - _EPS or phase is self.phases[-1]:
+                return phase, t_us - start
+            start += phase.duration_us
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def intensity(self, cell_id: int, t_us: float) -> float:
+        """Intensity multiplier for ``cell_id`` at absolute time ``t_us``."""
+        if not 0 <= cell_id < self.num_cells:
+            raise ConfigurationError(
+                f"cell_id {cell_id} outside the {self.num_cells}-cell grid"
+            )
+        if t_us < 0 or t_us >= self.duration_us:
+            return 0.0
+        phase, local = self.phase_at(t_us)
+        return phase.intensity(cell_id, self.num_cells, local)
+
+    def peak_intensity(self) -> float:
+        """Upper bound on the multiplier over all cells and times."""
+        return max(phase.peak_intensity() for phase in self.phases)
+
+
+# --------------------------------------------------------------------- #
+# The scenario catalog (documented in docs/scenarios.md)
+# --------------------------------------------------------------------- #
+
+#: Names accepted by :func:`build_scenario`, in catalog order.
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "steady",
+    "diurnal",
+    "flash-crowd",
+    "hotspot-drift",
+    "cell-outage",
+    "busy-day",
+)
+
+
+def build_scenario(
+    name: str, num_cells: int, horizon_us: float = 20_000.0
+) -> NetworkScenario:
+    """Instantiate a named catalog scenario for a ``num_cells`` grid.
+
+    ``horizon_us`` is the total simulated-time span of the scenario; each
+    catalog entry splits it into its characteristic phase timeline.  See
+    ``docs/scenarios.md`` for the timelines and the reproduce commands.
+    """
+    if num_cells <= 0:
+        raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
+    if horizon_us <= 0:
+        raise ConfigurationError(f"horizon_us must be positive, got {horizon_us}")
+
+    mid_cell = num_cells // 2
+    if name == "steady":
+        return NetworkScenario(
+            name=name,
+            num_cells=num_cells,
+            phases=(ConstantPhase(horizon_us),),
+            description="stationary nominal load on every cell (the control arm)",
+        )
+    if name == "diurnal":
+        return NetworkScenario(
+            name=name,
+            num_cells=num_cells,
+            phases=(
+                DiurnalPhase(
+                    horizon_us, amplitude=0.6, cycles=2.0, cell_lag_fraction=0.5
+                ),
+            ),
+            description="two day/night waves whose crest sweeps across the grid",
+        )
+    if name == "flash-crowd":
+        return NetworkScenario(
+            name=name,
+            num_cells=num_cells,
+            phases=(
+                ConstantPhase(0.25 * horizon_us),
+                FlashCrowdPhase(0.5 * horizon_us, cell_id=mid_cell, peak=6.0),
+                ConstantPhase(0.25 * horizon_us),
+            ),
+            description="a 6x demand spike erupts in the middle cell and subsides",
+        )
+    if name == "hotspot-drift":
+        return NetworkScenario(
+            name=name,
+            num_cells=num_cells,
+            phases=(HotspotDriftPhase(horizon_us, peak=4.0),),
+            description="a 4x hotspot migrates from the first cell to the last",
+        )
+    if name == "cell-outage":
+        return NetworkScenario(
+            name=name,
+            num_cells=num_cells,
+            phases=(
+                ConstantPhase(0.25 * horizon_us),
+                CellOutagePhase(0.5 * horizon_us, cell_id=mid_cell),
+                ConstantPhase(0.25 * horizon_us),
+            ),
+            description="the middle cell goes dark; its load spills to neighbours",
+        )
+    if name == "busy-day":
+        return NetworkScenario(
+            name=name,
+            num_cells=num_cells,
+            phases=(
+                DiurnalPhase(0.4 * horizon_us, amplitude=0.5, cycles=1.0),
+                FlashCrowdPhase(0.25 * horizon_us, cell_id=mid_cell, peak=5.0),
+                CellOutagePhase(0.2 * horizon_us, cell_id=0),
+                ConstantPhase(0.15 * horizon_us, level=0.8),
+            ),
+            description="a composite day: diurnal ramp, flash crowd, outage, cool-down",
+        )
+    raise ConfigurationError(
+        f"unknown scenario {name!r}; catalog: {', '.join(SCENARIO_NAMES)}"
+    )

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.serving.autoscale import AutoscaleController, ElasticBackendPool
 from repro.serving.events import EventQueue
 from repro.serving.pool import BackendPool, Worker, build_pool
 from repro.serving.report import (
@@ -48,6 +49,8 @@ __all__ = ["RANServingSimulator"]
 
 _ARRIVAL = "arrival"
 _WORKER_FREE = "worker-free"
+_AUTOSCALE = "autoscale"
+_WARMUP_DONE = "warmup-done"
 _TIME_EPS = 1e-12
 
 
@@ -73,6 +76,13 @@ class RANServingSimulator:
         When true each dispatched batch is actually solved through the
         batched kernels (slower; enables quality metrics).  When false only
         the timing model runs — the mode for long load sweeps.
+    autoscaler:
+        Optional :class:`~repro.serving.autoscale.AutoscaleController`.
+        Requires ``pool`` to be an
+        :class:`~repro.serving.autoscale.ElasticBackendPool`; the simulator
+        then schedules periodic autoscale events on the event queue and the
+        controller flexes the active annealer worker count from observed
+        queue depth and deadline pressure.
     """
 
     def __init__(
@@ -82,6 +92,7 @@ class RANServingSimulator:
         max_batch_size: Optional[int] = 16,
         admission_control: bool = True,
         evaluate_solutions: bool = False,
+        autoscaler: Optional[AutoscaleController] = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
             raise ConfigurationError(
@@ -92,6 +103,12 @@ class RANServingSimulator:
         self.max_batch_size = max_batch_size
         self.admission_control = bool(admission_control)
         self.evaluate_solutions = bool(evaluate_solutions)
+        if autoscaler is not None and not isinstance(self.pool, ElasticBackendPool):
+            raise ConfigurationError(
+                "an autoscaler requires an ElasticBackendPool, got "
+                f"{type(self.pool).__name__}"
+            )
+        self.autoscaler = autoscaler
 
     # ------------------------------------------------------------------ #
 
@@ -116,42 +133,78 @@ class RANServingSimulator:
         events = EventQueue()
         for job in ordered:
             events.push(job.arrival_us, (_ARRIVAL, job))
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+            start_us = ordered[0].arrival_us
+            self.autoscaler.begin(start_us, self.pool)
+            events.push(start_us + self.autoscaler.config.interval_us, (_AUTOSCALE, None))
 
         queue: List[ServingJob] = []
         outcomes: List[JobOutcome] = []
+        arrivals_remaining = len(ordered)
         while events:
             now, payload = events.pop()
             pending = [payload]
             while events and events.peek_time() <= now + _TIME_EPS:
                 pending.append(events.pop()[1])
+            autoscale_tick = False
             for kind, item in pending:
                 if kind == _ARRIVAL:
                     queue.append(item)
+                    arrivals_remaining -= 1
+                elif kind == _AUTOSCALE:
+                    autoscale_tick = True
+            if autoscale_tick and self.autoscaler is not None:
+                pressured = sum(1 for job in queue if self._pressured(job, now))
+                action = self.autoscaler.step(now, queue, self.pool, pressured)
+                if action is not None and action.action == "scale-up":
+                    # Wake the dispatcher the instant the warm-up completes;
+                    # otherwise the new worker could idle until the next
+                    # arrival/tick while pressured jobs queue.
+                    events.push(
+                        now + self.autoscaler.config.warmup_us, (_WARMUP_DONE, None)
+                    )
+                # Keep ticking while load can still arrive or is still queued;
+                # once both dry up, the remaining worker-free events just
+                # drain in-flight batches and no scaling decision is needed.
+                if queue or arrivals_remaining:
+                    events.push(now + self.autoscaler.config.interval_us, (_AUTOSCALE, None))
             self._dispatch(now, queue, events, outcomes, child_of)
 
         if queue:  # pragma: no cover - defensive; dispatch drains every queue
             raise ConfigurationError(f"{len(queue)} jobs were never scheduled")
 
         outcomes.sort(key=lambda outcome: outcome.job_id)
+        metadata = {
+            "max_batch_size": self.max_batch_size,
+            "admission_control": self.admission_control,
+            "evaluate_solutions": self.evaluate_solutions,
+            "num_annealer_workers": len(self.pool.annealer_workers),
+            "num_classical_workers": len(self.pool.classical_workers),
+        }
+        if self.autoscaler is not None:
+            end_us = max(outcome.finish_us for outcome in outcomes)
+            metadata.update(
+                {
+                    "autoscale_events": len(self.autoscaler.events),
+                    "autoscale_average_active": self.autoscaler.average_active_workers(
+                        end_us
+                    ),
+                    "autoscale_final_active": self.pool.active_annealer_count,
+                }
+            )
         return build_serving_report(
             outcomes,
             policy=self.policy.name,
             backend_utilization=self._utilization(outcomes),
-            metadata={
-                "max_batch_size": self.max_batch_size,
-                "admission_control": self.admission_control,
-                "evaluate_solutions": self.evaluate_solutions,
-                "num_annealer_workers": len(self.pool.annealer_workers),
-                "num_classical_workers": len(self.pool.classical_workers),
-            },
+            metadata=metadata,
         )
 
     # ------------------------------------------------------------------ #
 
     def _reset_pool(self) -> None:
         """Clear worker timelines so consecutive runs are independent."""
-        for worker in self.pool.workers:
-            worker.reset()
+        self.pool.reset()
 
     def _dispatch(
         self,
@@ -195,15 +248,21 @@ class RANServingSimulator:
     def _pressured(self, job: ServingJob, now: float) -> bool:
         """Whether waiting for an annealer already blows the deadline.
 
-        Uses the best projected solo completion over *all* annealer workers
-        (each with its own availability and service model), so demotion is
-        correct for heterogeneous annealer pools too.
+        Uses the best projected solo completion over the *active* annealer
+        workers (each with its own availability, warm-up horizon and service
+        model), so demotion is correct for heterogeneous and elastic pools.
+        Parked workers are no capacity; warming workers count from the
+        moment they become dispatchable.
         """
         if job.deadline_us is None:
             return False
+        workers = self.pool.active_annealer_workers
+        if not workers:
+            return True
         best_completion = min(
-            max(now, worker.server.free_at_us) + worker.backend.service_time_us([job])
-            for worker in self.pool.annealer_workers
+            max(now, worker.server.free_at_us, worker.available_from_us)
+            + worker.backend.service_time_us([job])
+            for worker in workers
         )
         return best_completion > job.deadline_us + 1e-9
 

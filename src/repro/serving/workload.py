@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.serving.scenarios import NetworkScenario
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.wireless.mimo import MIMOConfig
 from repro.wireless.traffic import ChannelUse, TrafficGenerator
@@ -195,6 +196,7 @@ def generate_serving_jobs(
     profiles: Sequence[UserProfile],
     jobs_per_user: int,
     rng: RandomState = None,
+    scenario: Optional[NetworkScenario] = None,
 ) -> List[ServingJob]:
     """Draw every user's stream and merge into one arrival-ordered job list.
 
@@ -202,6 +204,17 @@ def generate_serving_jobs(
     from the root seed), so the merged workload is reproducible and adding a
     user never perturbs the other users' streams.  Ties in arrival time are
     broken by ``(user_id, per-user index)`` for determinism.
+
+    With a :class:`~repro.serving.scenarios.NetworkScenario`, each user's
+    stream becomes a piecewise-inhomogeneous Poisson process over the
+    scenario horizon: the scenario's per-cell intensity multiplier modulates
+    the user's nominal rate (via
+    :meth:`~repro.wireless.traffic.TrafficGenerator.stream_modulated`
+    thinning on the same per-user child generators, so fixed seeds still
+    yield bitwise-identical workloads).  ``jobs_per_user`` then acts as a
+    per-user ceiling — the realised count varies with the scenario's demand
+    — and the user's ``phase_offset_us`` staggers the start of its thinning
+    clock without shifting the scenario timeline.
     """
     if not profiles:
         raise ConfigurationError("profiles must not be empty")
@@ -218,11 +231,31 @@ def generate_serving_jobs(
             raise ConfigurationError(
                 f"phase_offset_us must be non-negative, got {profile.phase_offset_us}"
             )
+        if scenario is not None and not 0 <= profile.cell_id < scenario.num_cells:
+            raise ConfigurationError(
+                f"user {profile.user_id} sits in cell {profile.cell_id}, outside "
+                f"scenario {scenario.name!r}'s {scenario.num_cells}-cell grid"
+            )
 
     root = ensure_rng(rng)
     children = spawn_rngs(root, len(profiles))
     tagged: List[Tuple[float, int, int, int, ChannelUse]] = []
     for profile, child in zip(profiles, children):
+        if scenario is not None:
+            cell_id = profile.cell_id
+            stream = profile.traffic_generator().stream_modulated(
+                horizon_us=scenario.duration_us,
+                intensity=lambda t_us, cell=cell_id: scenario.intensity(cell, t_us),
+                peak_intensity=scenario.peak_intensity(),
+                rng=child,
+                max_count=jobs_per_user,
+                start_us=profile.phase_offset_us,
+            )
+            for use in stream:
+                tagged.append(
+                    (use.arrival_time_us, profile.user_id, use.index, profile.cell_id, use)
+                )
+            continue
         for use in profile.traffic_generator().stream(jobs_per_user, child):
             if profile.phase_offset_us:
                 use = dataclasses.replace(

@@ -24,7 +24,7 @@ detection workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -177,19 +177,99 @@ class TrafficGenerator:
         for index in range(count):
             if index > 0:
                 arrival_time += self._inter_arrival(generator)
-            config = self._config_for(index, generator)
-            transmission = simulate_transmission(config, self.channel_model, generator)
-            deadline = (
-                arrival_time + self.turnaround_budget_us
-                if self.turnaround_budget_us is not None
-                else None
+            yield self._emit(index, arrival_time, generator)
+
+    def _emit(
+        self, index: int, arrival_time_us: float, rng: np.random.Generator
+    ) -> ChannelUse:
+        """Realise one channel use at a fixed arrival time.
+
+        Shared by the homogeneous and modulated streams so both arrival
+        processes derive configs, channel realisations and deadlines
+        identically (and in the same per-use randomness order).
+        """
+        config = self._config_for(index, rng)
+        transmission = simulate_transmission(config, self.channel_model, rng)
+        deadline = (
+            arrival_time_us + self.turnaround_budget_us
+            if self.turnaround_budget_us is not None
+            else None
+        )
+        return ChannelUse(
+            index=index,
+            arrival_time_us=arrival_time_us,
+            transmission=transmission,
+            deadline_us=deadline,
+        )
+
+    def stream_modulated(
+        self,
+        horizon_us: float,
+        intensity: Callable[[float], float],
+        peak_intensity: float,
+        rng: RandomState = None,
+        max_count: Optional[int] = None,
+        start_us: float = 0.0,
+    ) -> Iterator[ChannelUse]:
+        """Yield an inhomogeneous-Poisson stream over ``[start_us, horizon_us)``.
+
+        ``intensity(t_us)`` is a non-negative multiplier on the generator's
+        nominal rate ``1 / symbol_period_us`` (so 1.0 reproduces the mean
+        homogeneous rate, 0.0 silences the stream) and ``peak_intensity``
+        must bound it from above.  Arrivals are drawn by Ogata thinning:
+        candidates arrive at the majorising rate ``peak / period`` and are
+        accepted with probability ``intensity(t) / peak``.  All randomness —
+        candidate times, acceptance draws, mix choices, channel realisations
+        — comes from the single supplied generator, so a fixed seed yields a
+        bitwise-identical stream (the time-varying analogue of the
+        homogeneous :meth:`stream` guarantee).
+
+        The modulated stream is inherently Poisson; a generator configured
+        with ``arrival_process="deterministic"`` is rejected rather than
+        silently changing semantics.
+        """
+        if self.arrival_process != "poisson":
+            raise ConfigurationError(
+                "stream_modulated generates inhomogeneous Poisson arrivals; "
+                f"arrival_process must be 'poisson', got {self.arrival_process!r}"
             )
-            yield ChannelUse(
-                index=index,
-                arrival_time_us=arrival_time,
-                transmission=transmission,
-                deadline_us=deadline,
+        if horizon_us <= 0:
+            raise ConfigurationError(f"horizon_us must be positive, got {horizon_us}")
+        if peak_intensity <= 0:
+            raise ConfigurationError(
+                f"peak_intensity must be positive, got {peak_intensity}"
             )
+        if start_us < 0:
+            raise ConfigurationError(f"start_us must be non-negative, got {start_us}")
+        if max_count is not None and max_count < 0:
+            raise ConfigurationError(
+                f"max_count must be non-negative, got {max_count}"
+            )
+        generator = ensure_rng(rng)
+        mean_gap_us = self.symbol_period_us / peak_intensity
+        arrival_time = start_us
+        index = 0
+        while max_count is None or index < max_count:
+            arrival_time += float(generator.exponential(mean_gap_us))
+            if arrival_time >= horizon_us:
+                return
+            multiplier = float(intensity(arrival_time))
+            if multiplier < 0:
+                raise ConfigurationError(
+                    f"intensity must be non-negative, got {multiplier} "
+                    f"at t={arrival_time}"
+                )
+            if multiplier > peak_intensity * (1.0 + 1e-9):
+                raise ConfigurationError(
+                    f"intensity {multiplier} exceeds peak_intensity "
+                    f"{peak_intensity} at t={arrival_time}"
+                )
+            # Strict inequality: a u=0 draw must not accept a silent (m=0)
+            # instant, and m=peak accepts every u in [0, 1).
+            if float(generator.uniform()) * peak_intensity >= multiplier:
+                continue
+            yield self._emit(index, arrival_time, generator)
+            index += 1
 
     def _config_for(self, index: int, rng: np.random.Generator) -> MIMOConfig:
         if len(self.configs) == 1:

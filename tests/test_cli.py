@@ -54,3 +54,10 @@ class TestMain:
         exit_code = cli.main(["serve", "--quick", "--batch-size", "2"])
         assert exit_code == 0
         assert "deadline-miss" in capsys.readouterr().out
+
+    def test_runs_scenarios_quick(self, capsys):
+        exit_code = cli.main(["scenarios", "--quick"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "static vs autoscaled pools" in captured.out
+        assert "autoscaled serving report" in captured.out

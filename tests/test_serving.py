@@ -505,3 +505,76 @@ class TestServingSimulator:
             simulator.run([job, job])
         with pytest.raises(ConfigurationError):
             RANServingSimulator(max_batch_size=0)
+
+
+# ---------------------------------------------------------------------- #
+# ServingReport edge cases
+# ---------------------------------------------------------------------- #
+
+
+def _outcome(job_id, arrival, start, finish, deadline, met, demoted=False):
+    from repro.serving import JobOutcome
+
+    return JobOutcome(
+        job_id=job_id,
+        user_id=job_id,
+        cell_id=0,
+        arrival_us=arrival,
+        start_us=start,
+        finish_us=finish,
+        deadline_us=deadline,
+        met_deadline=met,
+        backend="annealer#0",
+        backend_kind="annealer",
+        demoted=demoted,
+        batch_size=1,
+    )
+
+
+class TestServingReportEdgeCases:
+    def test_zero_completed_jobs_yields_a_zeroed_report(self):
+        from repro.serving.report import build_serving_report, format_serving_report
+
+        report = build_serving_report([], policy="edf", backend_utilization=[])
+        assert report.num_jobs == 0
+        assert report.makespan_us == 0.0
+        assert report.offered_load_jobs_per_ms == 0.0
+        assert report.throughput_jobs_per_ms == 0.0
+        assert report.p50_latency_us == report.p95_latency_us == report.p99_latency_us == 0.0
+        assert report.deadline_miss_rate is None
+        assert report.missed_jobs == 0
+        assert report.optimum_rate is None
+        assert report.mean_batch_size == 0.0
+        assert report.max_batch_size == 0
+        # The empty report still renders.
+        assert "jobs served" in format_serving_report(report)
+
+    def test_single_job_report(self):
+        from repro.serving.report import build_serving_report
+
+        report = build_serving_report(
+            [_outcome(0, 10.0, 12.0, 40.0, 100.0, True)],
+            policy="fifo",
+            backend_utilization=[],
+        )
+        assert report.num_jobs == 1
+        # A lone arrival has no meaningful offered rate.
+        assert report.offered_load_jobs_per_ms == 0.0
+        # Every percentile equals the single latency.
+        latency = 40.0 - 10.0
+        assert report.p50_latency_us == pytest.approx(latency)
+        assert report.p95_latency_us == pytest.approx(latency)
+        assert report.p99_latency_us == pytest.approx(latency)
+        assert report.deadline_miss_rate == pytest.approx(0.0)
+
+    def test_all_missed_workload(self):
+        from repro.serving.report import build_serving_report
+
+        outcomes = [
+            _outcome(i, float(i), float(i) + 5.0, float(i) + 500.0, float(i) + 100.0, False)
+            for i in range(4)
+        ]
+        report = build_serving_report(outcomes, policy="edf", backend_utilization=[])
+        assert report.deadline_miss_rate == pytest.approx(1.0)
+        assert report.missed_jobs == 4
+        assert report.num_jobs == 4
