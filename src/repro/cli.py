@@ -22,6 +22,13 @@ configurations.  ``--batch-size N`` bounds how many QUBO instances the
 experiments submit per batched annealer/solver call (the default submits each
 experiment's natural instance group as one batch); results are identical for
 every batch size thanks to per-instance child generators.
+
+``--workers N`` shards the sweep-style experiments (fig6, fig8, snr, serve,
+scenarios) across ``N`` processes — results are bitwise-identical to the
+serial run at any worker count.  Shard results are cached on disk under
+``--cache-dir`` (default ``.repro-cache``) so a re-run with one changed
+point recomputes only that point; ``--no-cache`` disables the cache.
+Experiments without a sharded driver ignore all three flags.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ import argparse
 import dataclasses
 import sys
 from typing import Callable, Dict, List, Optional
+
+from repro.parallel import ResultCache
 
 from repro.experiments import (
     Figure3Config,
@@ -93,69 +102,75 @@ def _select(config_class, scale: str, batch_size: Optional[int] = None):
     return config
 
 
-def _run_fig3(scale: str, batch_size: Optional[int]) -> str:
+def _run_fig3(scale, batch_size, workers, cache) -> str:
     return format_figure3_table(run_figure3(_select(Figure3Config, scale, batch_size)))
 
 
-def _run_fig6(scale: str, batch_size: Optional[int]) -> str:
-    return format_figure6_table(run_figure6(_select(Figure6Config, scale, batch_size)))
+def _run_fig6(scale, batch_size, workers, cache) -> str:
+    return format_figure6_table(
+        run_figure6(_select(Figure6Config, scale, batch_size), workers=workers, cache=cache)
+    )
 
 
-def _run_fig7(scale: str, batch_size: Optional[int]) -> str:
+def _run_fig7(scale, batch_size, workers, cache) -> str:
     return format_figure7_table(run_figure7(_select(Figure7Config, scale, batch_size)))
 
 
-def _run_fig8(scale: str, batch_size: Optional[int]) -> str:
-    return format_figure8_table(run_figure8(_select(Figure8Config, scale, batch_size)))
+def _run_fig8(scale, batch_size, workers, cache) -> str:
+    return format_figure8_table(
+        run_figure8(_select(Figure8Config, scale, batch_size), workers=workers, cache=cache)
+    )
 
 
-def _run_headline(scale: str, batch_size: Optional[int]) -> str:
+def _run_headline(scale, batch_size, workers, cache) -> str:
     return format_headline_report(run_headline(_select(HeadlineConfig, scale, batch_size)))
 
 
-def _run_pipeline(scale: str, batch_size: Optional[int]) -> str:
+def _run_pipeline(scale, batch_size, workers, cache) -> str:
     return format_pipeline_table(
         run_pipeline_study(_select(PipelineStudyConfig, scale, batch_size))
     )
 
 
-def _run_ablation(scale: str, batch_size: Optional[int]) -> str:
+def _run_ablation(scale, batch_size, workers, cache) -> str:
     return format_initializer_table(
         run_initializer_ablation(_select(InitializerAblationConfig, scale, batch_size))
     )
 
 
-def _run_constraints(scale: str, batch_size: Optional[int]) -> str:
+def _run_constraints(scale, batch_size, workers, cache) -> str:
     return format_soft_constraint_table(
         run_soft_constraint_study(_select(SoftConstraintConfig, scale, batch_size))
     )
 
 
-def _run_snr(scale: str, batch_size: Optional[int]) -> str:
-    return format_snr_table(run_snr_study(_select(SNRStudyConfig, scale, batch_size)))
+def _run_snr(scale, batch_size, workers, cache) -> str:
+    return format_snr_table(
+        run_snr_study(_select(SNRStudyConfig, scale, batch_size), workers=workers, cache=cache)
+    )
 
 
-def _run_pause(scale: str, batch_size: Optional[int]) -> str:
+def _run_pause(scale, batch_size, workers, cache) -> str:
     return format_pause_table(
         run_pause_ablation(_select(PauseAblationConfig, scale, batch_size))
     )
 
 
-def _run_serve(scale: str, batch_size: Optional[int]) -> str:
+def _run_serve(scale, batch_size, workers, cache) -> str:
     config = _select(LoadStudyConfig, scale)
     if batch_size is not None:
         config = dataclasses.replace(config, max_batch_size=batch_size)
-    return format_load_study_table(run_load_study(config))
+    return format_load_study_table(run_load_study(config, workers=workers, cache=cache))
 
 
-def _run_scenarios(scale: str, batch_size: Optional[int]) -> str:
+def _run_scenarios(scale, batch_size, workers, cache) -> str:
     config = _select(ScenarioStudyConfig, scale)
     if batch_size is not None:
         config = dataclasses.replace(config, max_batch_size=batch_size)
-    return format_scenario_table(run_scenario_study(config))
+    return format_scenario_table(run_scenario_study(config, workers=workers, cache=cache))
 
 
-_EXPERIMENTS: Dict[str, Callable[[str, Optional[int]], str]] = {
+_EXPERIMENTS: Dict[str, Callable[[str, Optional[int], Optional[int], Optional[ResultCache]], str]] = {
     "fig3": _run_fig3,
     "fig6": _run_fig6,
     "fig7": _run_fig7,
@@ -203,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
         "each experiment's natural instance group as one batch); results are "
         "identical for every batch size",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the sweep-style experiments (fig6, fig8, snr, serve, "
+        "scenarios) across N processes; results are bitwise-identical to the "
+        "serial run at any worker count (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk shard-result cache (every point recomputes)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="directory of the content-addressed shard-result cache "
+        "(default: .repro-cache)",
+    )
     return parser
 
 
@@ -212,11 +248,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.batch_size is not None and arguments.batch_size <= 0:
         parser.error(f"--batch-size must be positive, got {arguments.batch_size}")
+    if arguments.workers is not None and arguments.workers < 1:
+        parser.error(f"--workers must be at least 1, got {arguments.workers}")
     scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
+    cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
 
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
-        print(_EXPERIMENTS[name](scale, arguments.batch_size))
+        print(_EXPERIMENTS[name](scale, arguments.batch_size, arguments.workers, cache))
         print()
     return 0
 

@@ -42,6 +42,7 @@ from repro.experiments.fig3_simplification import (
 from repro.experiments.fig6_distributions import (
     Figure6Config,
     Figure6Series,
+    figure6_tasks,
     run_figure6,
     format_figure6_table,
 )
@@ -54,6 +55,7 @@ from repro.experiments.fig7_initial_state import (
 from repro.experiments.fig8_tts import (
     Figure8Config,
     Figure8Row,
+    figure8_tasks,
     run_figure8,
     format_figure8_table,
 )
@@ -82,6 +84,7 @@ from repro.experiments.ablation import (
 from repro.experiments.snr_study import (
     SNRStudyConfig,
     SNRStudyRow,
+    snr_study_tasks,
     run_snr_study,
     format_snr_table,
 )
@@ -95,6 +98,7 @@ from repro.experiments.load_study import (
     LoadStudyConfig,
     LoadStudyRow,
     LoadStudyResult,
+    load_study_tasks,
     run_load_study,
     format_load_study_table,
 )
@@ -102,6 +106,7 @@ from repro.experiments.scenario_study import (
     ScenarioStudyConfig,
     ScenarioStudyRow,
     ScenarioStudyResult,
+    scenario_study_tasks,
     run_scenario_study,
     format_scenario_table,
 )
@@ -118,6 +123,7 @@ __all__ = [
     "format_figure3_table",
     "Figure6Config",
     "Figure6Series",
+    "figure6_tasks",
     "run_figure6",
     "format_figure6_table",
     "Figure7Config",
@@ -126,6 +132,7 @@ __all__ = [
     "format_figure7_table",
     "Figure8Config",
     "Figure8Row",
+    "figure8_tasks",
     "run_figure8",
     "format_figure8_table",
     "HeadlineConfig",
@@ -146,6 +153,7 @@ __all__ = [
     "format_soft_constraint_table",
     "SNRStudyConfig",
     "SNRStudyRow",
+    "snr_study_tasks",
     "run_snr_study",
     "format_snr_table",
     "PauseAblationConfig",
@@ -155,11 +163,13 @@ __all__ = [
     "LoadStudyConfig",
     "LoadStudyRow",
     "LoadStudyResult",
+    "load_study_tasks",
     "run_load_study",
     "format_load_study_table",
     "ScenarioStudyConfig",
     "ScenarioStudyRow",
     "ScenarioStudyResult",
+    "scenario_study_tasks",
     "run_scenario_study",
     "format_scenario_table",
 ]

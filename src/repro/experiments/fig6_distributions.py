@@ -16,6 +16,7 @@ and forward annealing sits in between.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,9 +32,16 @@ from repro.experiments.instances import (
 )
 from repro.metrics.quality import delta_e_distribution
 from repro.metrics.statistics import histogram_percentiles
+from repro.parallel import ParallelRunner, ResultCache, ShardTask
 from repro.utils.rng import spawn_rngs, stable_seed
 
-__all__ = ["Figure6Config", "Figure6Series", "run_figure6", "format_figure6_table"]
+__all__ = [
+    "Figure6Config",
+    "Figure6Series",
+    "figure6_tasks",
+    "run_figure6",
+    "format_figure6_table",
+]
 
 #: The three solver flavours compared by Figure 6.
 METHODS = ("FA", "RA-random", "RA-greedy")
@@ -109,17 +117,124 @@ class Figure6Series:
     bin_edges: Tuple[float, ...]
 
 
-def run_figure6(
-    config: Figure6Config = Figure6Config(),
-    sampler: Optional[QuantumAnnealerSimulator] = None,
+def _figure6_configuration(
+    config: Figure6Config,
+    num_users: int,
+    modulation: str,
+    annealer: QuantumAnnealerSimulator,
 ) -> List[Figure6Series]:
-    """Run the distribution comparison and return one series per (modulation, method)."""
-    annealer = sampler if sampler is not None else QuantumAnnealerSimulator(
-        seed=stable_seed("fig6", config.base_seed)
-    )
-    greedy = GreedySearchSolver()
-    series: List[Figure6Series] = []
+    """Run the three-method comparison for one (num_users, modulation) pair.
 
+    All anneal randomness flows through children spawned from
+    ``stable_seed("fig6-anneal", method, modulation, num_users, base_seed)``,
+    so configurations are mutually independent: sharding the figure across
+    processes cannot change a single sample.
+    """
+    greedy = GreedySearchSolver()
+    bundles = synthesize_instances(
+        config.instances_per_modulation,
+        num_users,
+        modulation,
+        base_seed=config.base_seed,
+    )
+    per_method: Dict[str, List[np.ndarray]] = {method: [] for method in METHODS}
+
+    qubos = instance_qubos(bundles)
+    grounds = [bundle.ground_energy for bundle in bundles]
+    # Each instance draws a distinct random initial state (the seed-era
+    # driver reused one state per modulation, which made the RA(random)
+    # series an average over identical runs rather than random states).
+    state_rng = np.random.default_rng(
+        stable_seed("fig6-instance", modulation, num_users, config.base_seed)
+    )
+    random_states = [state_rng.integers(0, 2, qubo.num_variables) for qubo in qubos]
+    greedy_solutions = greedy.solve_batch(qubos)
+
+    # One anneal child generator per (method, instance), spawned up front:
+    # chunked submissions receive slices of the same children, so results
+    # are identical for every batch_size.
+    method_children = {
+        method: spawn_rngs(
+            stable_seed("fig6-anneal", method, modulation, num_users, config.base_seed),
+            len(qubos),
+        )
+        for method in METHODS
+    }
+
+    # Each method's reads for every instance of the modulation go through
+    # the annealer as (chunked) batched submissions instead of a loop.
+    for start, chunk_qubos in iter_batches(qubos, config.batch_size):
+        stop = start + len(chunk_qubos)
+        chunk_grounds = grounds[start:stop]
+
+        fa_sets = annealer.forward_anneal_batch(
+            chunk_qubos,
+            num_reads=config.num_reads,
+            anneal_time_us=config.anneal_time_us,
+            pause_s=config.switch_s,
+            pause_duration_us=config.pause_duration_us,
+            rng=method_children["FA"][start:stop],
+        )
+        ra_random_sets = annealer.reverse_anneal_batch(
+            chunk_qubos,
+            random_states[start:stop],
+            switch_s=config.switch_s,
+            num_reads=config.num_reads,
+            pause_duration_us=config.pause_duration_us,
+            rng=method_children["RA-random"][start:stop],
+        )
+        ra_greedy_sets = annealer.reverse_anneal_batch(
+            chunk_qubos,
+            [solution.assignment for solution in greedy_solutions[start:stop]],
+            switch_s=config.switch_s,
+            num_reads=config.num_reads,
+            pause_duration_us=config.pause_duration_us,
+            rng=method_children["RA-greedy"][start:stop],
+        )
+        for ground, fa, ra_random, ra_greedy in zip(
+            chunk_grounds, fa_sets, ra_random_sets, ra_greedy_sets
+        ):
+            per_method["FA"].append(delta_e_distribution(fa, ground))
+            per_method["RA-random"].append(delta_e_distribution(ra_random, ground))
+            per_method["RA-greedy"].append(delta_e_distribution(ra_greedy, ground))
+
+    series: List[Figure6Series] = []
+    for method in METHODS:
+        samples = np.concatenate(per_method[method])
+        histogram = histogram_percentiles(samples, config.bin_edges)
+        series.append(
+            Figure6Series(
+                modulation=modulation,
+                num_users=num_users,
+                method=method,
+                num_samples=int(samples.size),
+                mean_delta_e=float(np.mean(samples)),
+                median_delta_e=float(np.median(samples)),
+                ground_state_fraction=float(np.mean(samples <= 1e-6)),
+                histogram=tuple(float(value) for value in histogram),
+                bin_edges=config.bin_edges,
+            )
+        )
+    return series
+
+
+def _figure6_shard(
+    config: Figure6Config,
+    num_users: int,
+    modulation: str,
+    batch_size: Optional[int] = None,
+) -> List[Figure6Series]:
+    """One (num_users, modulation) shard of the figure.
+
+    ``batch_size`` arrives outside the fingerprinted config (results are
+    proven batch-size-invariant, so the cache key must not depend on it).
+    """
+    config = dataclasses.replace(config, batch_size=batch_size)
+    annealer = QuantumAnnealerSimulator(seed=stable_seed("fig6", config.base_seed))
+    return _figure6_configuration(config, num_users, modulation, annealer)
+
+
+def _selected_configurations(config: Figure6Config) -> List[Tuple[int, str]]:
     configurations = paper_figure6_configurations(config.num_variables)
     if config.modulations is not None:
         configurations = [
@@ -127,92 +242,58 @@ def run_figure6(
             for users, modulation in configurations
             if modulation in config.modulations
         ]
+    return configurations
 
-    for num_users, modulation in configurations:
-        bundles = synthesize_instances(
-            config.instances_per_modulation,
-            num_users,
-            modulation,
-            base_seed=config.base_seed,
+
+def figure6_tasks(config: Figure6Config) -> List[ShardTask]:
+    """The figure's shard list: one task per (num_users, modulation) pair.
+
+    The per-shard configuration normalises the ``modulations`` filter away
+    (the shard is already pinned to one modulation), so changing which
+    modulations a run sweeps re-keys only the added or removed pairs; the
+    batch-size-invariant ``batch_size`` travels outside the fingerprint so
+    re-chunking a sweep never recomputes it.
+    """
+    shard_config = dataclasses.replace(config, modulations=None, batch_size=None)
+    return [
+        ShardTask(
+            key=("fig6", modulation, num_users),
+            fn=_figure6_shard,
+            kwargs={
+                "config": shard_config,
+                "num_users": num_users,
+                "modulation": modulation,
+                "batch_size": config.batch_size,
+            },
+            fingerprint_exclude=("batch_size",),
         )
-        per_method: Dict[str, List[np.ndarray]] = {method: [] for method in METHODS}
+        for num_users, modulation in _selected_configurations(config)
+    ]
 
-        qubos = instance_qubos(bundles)
-        grounds = [bundle.ground_energy for bundle in bundles]
-        # Each instance draws a distinct random initial state (the seed-era
-        # driver reused one state per modulation, which made the RA(random)
-        # series an average over identical runs rather than random states).
-        state_rng = np.random.default_rng(
-            stable_seed("fig6-instance", modulation, num_users, config.base_seed)
-        )
-        random_states = [state_rng.integers(0, 2, qubo.num_variables) for qubo in qubos]
-        greedy_solutions = greedy.solve_batch(qubos)
 
-        # One anneal child generator per (method, instance), spawned up front:
-        # chunked submissions receive slices of the same children, so results
-        # are identical for every batch_size.
-        method_children = {
-            method: spawn_rngs(
-                stable_seed("fig6-anneal", method, modulation, num_users, config.base_seed),
-                len(qubos),
-            )
-            for method in METHODS
-        }
+def run_figure6(
+    config: Figure6Config = Figure6Config(),
+    sampler: Optional[QuantumAnnealerSimulator] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Figure6Series]:
+    """Run the distribution comparison and return one series per (modulation, method).
 
-        # Each method's reads for every instance of the modulation go through
-        # the annealer as (chunked) batched submissions instead of a loop.
-        for start, chunk_qubos in iter_batches(qubos, config.batch_size):
-            stop = start + len(chunk_qubos)
-            chunk_grounds = grounds[start:stop]
-
-            fa_sets = annealer.forward_anneal_batch(
-                chunk_qubos,
-                num_reads=config.num_reads,
-                anneal_time_us=config.anneal_time_us,
-                pause_s=config.switch_s,
-                pause_duration_us=config.pause_duration_us,
-                rng=method_children["FA"][start:stop],
-            )
-            ra_random_sets = annealer.reverse_anneal_batch(
-                chunk_qubos,
-                random_states[start:stop],
-                switch_s=config.switch_s,
-                num_reads=config.num_reads,
-                pause_duration_us=config.pause_duration_us,
-                rng=method_children["RA-random"][start:stop],
-            )
-            ra_greedy_sets = annealer.reverse_anneal_batch(
-                chunk_qubos,
-                [solution.assignment for solution in greedy_solutions[start:stop]],
-                switch_s=config.switch_s,
-                num_reads=config.num_reads,
-                pause_duration_us=config.pause_duration_us,
-                rng=method_children["RA-greedy"][start:stop],
-            )
-            for ground, fa, ra_random, ra_greedy in zip(
-                chunk_grounds, fa_sets, ra_random_sets, ra_greedy_sets
-            ):
-                per_method["FA"].append(delta_e_distribution(fa, ground))
-                per_method["RA-random"].append(delta_e_distribution(ra_random, ground))
-                per_method["RA-greedy"].append(delta_e_distribution(ra_greedy, ground))
-
-        for method in METHODS:
-            samples = np.concatenate(per_method[method])
-            histogram = histogram_percentiles(samples, config.bin_edges)
-            series.append(
-                Figure6Series(
-                    modulation=modulation,
-                    num_users=num_users,
-                    method=method,
-                    num_samples=int(samples.size),
-                    mean_delta_e=float(np.mean(samples)),
-                    median_delta_e=float(np.median(samples)),
-                    ground_state_fraction=float(np.mean(samples <= 1e-6)),
-                    histogram=tuple(float(value) for value in histogram),
-                    bin_edges=config.bin_edges,
-                )
-            )
-    return series
+    ``workers`` shards the modulation grid across a process pool (results are
+    bitwise-identical to the serial path at any worker count) and ``cache``
+    reuses shard results across runs; see :mod:`repro.parallel`.  A custom
+    ``sampler`` pins the run to the calling process (serial, uncached).
+    """
+    if sampler is not None:
+        return [
+            entry
+            for num_users, modulation in _selected_configurations(config)
+            for entry in _figure6_configuration(config, num_users, modulation, sampler)
+        ]
+    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
+        figure6_tasks(config)
+    )
+    return [entry for shard in shards for entry in shard]
 
 
 def format_figure6_table(series: Sequence[Figure6Series]) -> str:

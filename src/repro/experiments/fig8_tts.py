@@ -21,6 +21,7 @@ best TTS beats FA's by a sizeable factor.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,9 +36,16 @@ from repro.hybrid.parameters import (
     sweep_switch_point_batch,
 )
 from repro.metrics.quality import delta_e_percent
+from repro.parallel import ParallelRunner, ResultCache, ShardTask
 from repro.utils.rng import stable_seed
 
-__all__ = ["Figure8Config", "Figure8Row", "run_figure8", "format_figure8_table"]
+__all__ = [
+    "Figure8Config",
+    "Figure8Row",
+    "figure8_tasks",
+    "run_figure8",
+    "format_figure8_table",
+]
 
 
 @dataclass(frozen=True)
@@ -158,31 +166,23 @@ def _candidate_with_quality(
     return best_candidate
 
 
-def run_figure8(
-    config: Figure8Config = Figure8Config(),
-    sampler: Optional[QuantumAnnealerSimulator] = None,
-    bundle: Optional[InstanceBundle] = None,
-) -> List[Figure8Row]:
-    """Run the s_p sweep for every method and return all (method, s_p) rows."""
-    instance = bundle if bundle is not None else synthesize_instance(
+def _instance_for(config: Figure8Config) -> InstanceBundle:
+    return synthesize_instance(
         config.num_users, config.modulation, seed=config.instance_seed
     )
-    annealer = sampler if sampler is not None else QuantumAnnealerSimulator(
-        seed=stable_seed("fig8", config.base_seed)
-    )
-    rng = np.random.default_rng(stable_seed("fig8-candidates", config.base_seed))
-    qubo = instance.encoding.qubo
-    ground_energy = instance.ground_energy
-    grid = config.grid()
 
-    rows: List[Figure8Row] = []
 
-    # Forward annealing baseline (a batch of one keeps the code path uniform).
+def _fa_rows(
+    config: Figure8Config,
+    instance: InstanceBundle,
+    annealer: QuantumAnnealerSimulator,
+) -> List[Figure8Row]:
+    """Forward annealing baseline (a batch of one keeps the code path uniform)."""
     fa_records = sweep_switch_point_batch(
-        [qubo],
-        [ground_energy],
+        [instance.encoding.qubo],
+        [instance.ground_energy],
         method="FA",
-        switch_values=grid,
+        switch_values=config.grid(),
         sampler=annealer,
         num_reads=config.num_reads,
         pause_duration_us=config.pause_duration_us,
@@ -190,12 +190,23 @@ def run_figure8(
         confidence_percent=config.confidence_percent,
         rng=stable_seed("fig8-fa", config.base_seed),
     )[0]
-    rows.extend(_rows_from_records("FA", fa_records))
+    return _rows_from_records("FA", fa_records)
 
-    # The whole reverse-annealing family — greedy candidate (the hybrid
-    # prototype), exact ground state (reference line) and optionally an
-    # intermediate-quality candidate — shares the RA schedule at every s_p,
-    # so each grid point is one batched submission across the variants.
+
+def _ra_rows(
+    config: Figure8Config,
+    instance: InstanceBundle,
+    annealer: QuantumAnnealerSimulator,
+) -> List[Figure8Row]:
+    """The whole reverse-annealing family as one batched sweep.
+
+    Greedy candidate (the hybrid prototype), exact ground state (reference
+    line) and optionally an intermediate-quality candidate share the RA
+    schedule at every s_p, so each grid point is one batched submission
+    across the variants.
+    """
+    qubo = instance.encoding.qubo
+    ground_energy = instance.ground_energy
     greedy_solution = GreedySearchSolver().solve(qubo)
     greedy_quality = delta_e_percent(greedy_solution.energy, ground_energy)
     ra_labels: List[str] = ["RA-greedy", "RA-ground"]
@@ -203,6 +214,7 @@ def run_figure8(
     ra_initial_states: List[np.ndarray] = [greedy_solution.assignment, instance.ground_state]
 
     if config.intermediate_initial_quality is not None:
+        rng = np.random.default_rng(stable_seed("fig8-candidates", config.base_seed))
         candidate = _candidate_with_quality(instance, config.intermediate_initial_quality, rng)
         if candidate is not None:
             ra_labels.append("RA-intermediate")
@@ -213,7 +225,7 @@ def run_figure8(
         [qubo] * len(ra_labels),
         [ground_energy] * len(ra_labels),
         method="RA",
-        switch_values=grid,
+        switch_values=config.grid(),
         initial_states=ra_initial_states,
         sampler=annealer,
         num_reads=config.num_reads,
@@ -221,32 +233,122 @@ def run_figure8(
         confidence_percent=config.confidence_percent,
         rng=stable_seed("fig8-ra", config.base_seed),
     )
+    rows: List[Figure8Row] = []
     for label, quality, records in zip(ra_labels, ra_qualities, ra_results):
         rows.extend(_rows_from_records(label, records, quality))
-
-    # Forward-reverse annealing with the oracle turning point.
-    if config.include_fr_oracle:
-        for switch_s in grid:
-            fr_records = sweep_forward_reverse_turning_point(
-                qubo,
-                ground_energy,
-                switch_s=float(switch_s),
-                turning_values=tuple(
-                    value for value in (0.45, 0.6, 0.75, 0.9) if value >= switch_s
-                ),
-                sampler=annealer,
-                num_reads=config.num_reads,
-                pause_duration_us=config.pause_duration_us,
-                anneal_time_us=config.anneal_time_us,
-                confidence_percent=config.confidence_percent,
-                rng=stable_seed("fig8-fr", config.base_seed, float(switch_s)),
-            )
-            if not fr_records:
-                continue
-            best = max(fr_records, key=lambda record: record.success_probability)
-            rows.extend(_rows_from_records("FR-oracle", [best]))
-
     return rows
+
+
+def _fr_rows(
+    config: Figure8Config,
+    instance: InstanceBundle,
+    annealer: QuantumAnnealerSimulator,
+    switch_s: float,
+) -> List[Figure8Row]:
+    """Forward-reverse annealing with the oracle turning point at one s_p."""
+    fr_records = sweep_forward_reverse_turning_point(
+        instance.encoding.qubo,
+        instance.ground_energy,
+        switch_s=float(switch_s),
+        turning_values=tuple(
+            value for value in (0.45, 0.6, 0.75, 0.9) if value >= switch_s
+        ),
+        sampler=annealer,
+        num_reads=config.num_reads,
+        pause_duration_us=config.pause_duration_us,
+        anneal_time_us=config.anneal_time_us,
+        confidence_percent=config.confidence_percent,
+        rng=stable_seed("fig8-fr", config.base_seed, float(switch_s)),
+    )
+    if not fr_records:
+        return []
+    best = max(fr_records, key=lambda record: record.success_probability)
+    return _rows_from_records("FR-oracle", [best])
+
+
+def _figure8_fa_shard(config: Figure8Config) -> List[Figure8Row]:
+    """The FA sweep as one shard (its child seeds span the whole grid)."""
+    annealer = QuantumAnnealerSimulator(seed=stable_seed("fig8", config.base_seed))
+    return _fa_rows(config, _instance_for(config), annealer)
+
+
+def _figure8_ra_shard(config: Figure8Config) -> List[Figure8Row]:
+    """The RA family sweep as one shard (one batched child per variant)."""
+    annealer = QuantumAnnealerSimulator(seed=stable_seed("fig8", config.base_seed))
+    return _ra_rows(config, _instance_for(config), annealer)
+
+
+def _figure8_fr_shard(config: Figure8Config, switch_s: float) -> List[Figure8Row]:
+    """One FR-oracle grid point; its seed depends only on (base_seed, s_p)."""
+    annealer = QuantumAnnealerSimulator(seed=stable_seed("fig8", config.base_seed))
+    return _fr_rows(config, _instance_for(config), annealer, switch_s)
+
+
+def figure8_tasks(config: Figure8Config) -> List[ShardTask]:
+    """The figure's shard list: FA sweep, RA family, one task per FR point.
+
+    The FA and RA sweeps consume their child generators *across* the grid
+    (splitting them would change which reads each point draws), so each runs
+    as one shard; the FR oracle is seeded per grid point and shards freely.
+    Each shard's configuration normalises away the knobs its method never
+    reads (the RA-only ``intermediate_initial_quality``, the task-list-level
+    ``include_fr_oracle``, and for FR the grid), so toggling one method's
+    knob re-keys only that method's shards in the cache.
+    """
+    fa_config = dataclasses.replace(
+        config, include_fr_oracle=False, intermediate_initial_quality=None
+    )
+    ra_config = dataclasses.replace(config, include_fr_oracle=False)
+    tasks = [
+        ShardTask(key=("fig8", "fa"), fn=_figure8_fa_shard, kwargs={"config": fa_config}),
+        ShardTask(key=("fig8", "ra"), fn=_figure8_ra_shard, kwargs={"config": ra_config}),
+    ]
+    if config.include_fr_oracle:
+        fr_config = dataclasses.replace(
+            config, switch_values=None, intermediate_initial_quality=None
+        )
+        tasks.extend(
+            ShardTask(
+                key=("fig8", "fr", float(switch_s)),
+                fn=_figure8_fr_shard,
+                kwargs={"config": fr_config, "switch_s": float(switch_s)},
+            )
+            for switch_s in config.grid()
+        )
+    return tasks
+
+
+def run_figure8(
+    config: Figure8Config = Figure8Config(),
+    sampler: Optional[QuantumAnnealerSimulator] = None,
+    bundle: Optional[InstanceBundle] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Figure8Row]:
+    """Run the s_p sweep for every method and return all (method, s_p) rows.
+
+    ``workers`` shards the sweep (FA, RA family, each FR oracle point) across
+    a process pool — results are bitwise-identical to the serial path at any
+    worker count — and ``cache`` reuses shard results across runs; see
+    :mod:`repro.parallel`.  A custom ``sampler`` or ``bundle`` pins the run
+    to the calling process (serial, uncached).
+    """
+    if sampler is not None or bundle is not None:
+        instance = bundle if bundle is not None else _instance_for(config)
+        annealer = sampler if sampler is not None else QuantumAnnealerSimulator(
+            seed=stable_seed("fig8", config.base_seed)
+        )
+        rows = _fa_rows(config, instance, annealer)
+        rows.extend(_ra_rows(config, instance, annealer))
+        if config.include_fr_oracle:
+            for switch_s in config.grid():
+                rows.extend(_fr_rows(config, instance, annealer, switch_s))
+        return rows
+
+    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
+        figure8_tasks(config)
+    )
+    return [row for shard in shards for row in shard]
 
 
 def format_figure8_table(rows: Sequence[Figure8Row]) -> str:

@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
-from repro.hybrid.pipeline import HybridPipelineSimulator
+from repro.hybrid.pipeline import HybridPipelineSimulator, PipelineReport
+from repro.parallel import ParallelRunner, ResultCache, ShardTask
 from repro.serving.backends import AnnealerServingBackend, ClassicalServingBackend
 from repro.serving.pool import BackendPool
 from repro.serving.report import ServingReport, format_serving_report
@@ -40,6 +41,7 @@ __all__ = [
     "LoadStudyConfig",
     "LoadStudyRow",
     "LoadStudyResult",
+    "load_study_tasks",
     "run_load_study",
     "format_load_study_table",
 ]
@@ -147,7 +149,7 @@ def _annealer_backend(config: LoadStudyConfig, lanes: int) -> AnnealerServingBac
     )
 
 
-def _workload(config: LoadStudyConfig, load_factor: float):
+def _workload(config: LoadStudyConfig, load_factor: float, workload_seed: int):
     configs = [MIMOConfig(config.num_users, modulation) for modulation in config.modulations]
     profiles = uniform_cell_profiles(
         num_cells=config.num_cells,
@@ -159,57 +161,102 @@ def _workload(config: LoadStudyConfig, load_factor: float):
     )
     # The same seed family at every load factor: scaling the period rescales
     # arrival times but keeps channel realisations comparable across loads.
-    return generate_serving_jobs(
-        profiles, config.jobs_per_user, rng=stable_seed("load-study", config.base_seed)
-    )
+    return generate_serving_jobs(profiles, config.jobs_per_user, rng=workload_seed)
 
 
-def run_load_study(config: LoadStudyConfig = LoadStudyConfig()) -> LoadStudyResult:
-    """Sweep the load grid over the three serving architectures."""
+def _load_shard(
+    config: LoadStudyConfig, workload_seed: int, pipeline_seed: int
+) -> Tuple[ServingReport, PipelineReport, ServingReport]:
+    """One load-factor shard: (serialized, pipelined, pooled) reports.
+
+    ``config.load_factors`` holds exactly the shard's load factor; all
+    randomness flows through the explicit ``workload_seed`` /
+    ``pipeline_seed`` children (shared across load factors so channel
+    realisations stay comparable), making the shard independent of
+    execution order and worker count.
+    """
+    if len(config.load_factors) != 1:
+        raise ConfigurationError(
+            f"a load shard sweeps exactly one load factor, got {config.load_factors!r}"
+        )
+    load_factor = config.load_factors[0]
+    jobs = _workload(config, load_factor, workload_seed)
+
+    serialized = RANServingSimulator(
+        pool=BackendPool([_annealer_backend(config, lanes=1)]),
+        policy="fifo",
+        max_batch_size=1,
+        admission_control=False,
+    ).run(jobs)
+
+    # The Figure-2 pipeline consumes the merged trace as a channel-use
+    # stream (re-indexed into global arrival order).
+    channel_uses = [
+        dataclasses.replace(job.channel_use, index=position)
+        for position, job in enumerate(jobs)
+    ]
+    pipelined = HybridPipelineSimulator(
+        switch_s=config.switch_s,
+        num_reads=config.num_reads,
+        evaluate_solutions=False,
+    ).run(channel_uses, pipelined=True, rng=pipeline_seed)
+
+    pooled_backends = [_annealer_backend(config, lanes=config.lanes)] * config.annealer_workers
+    pooled_backends += [ClassicalServingBackend()] * config.classical_workers
+    pooled = RANServingSimulator(
+        pool=BackendPool(pooled_backends),
+        policy=config.policy,
+        max_batch_size=config.max_batch_size,
+        admission_control=config.admission_control,
+    ).run(jobs)
+    return serialized, pipelined, pooled
+
+
+def load_study_tasks(config: LoadStudyConfig) -> List[ShardTask]:
+    """The sweep's shard list: one task per load factor.
+
+    Each task's configuration is restricted to its own load factor, so a
+    grid edit re-keys (and recomputes) only the touched points.
+    """
+    workload_seed = stable_seed("load-study", config.base_seed)
+    pipeline_seed = stable_seed("load-pipe", config.base_seed)
+    return [
+        ShardTask(
+            key=("load-study", float(load_factor)),
+            fn=_load_shard,
+            kwargs={
+                "config": dataclasses.replace(config, load_factors=(float(load_factor),)),
+                "workload_seed": workload_seed,
+                "pipeline_seed": pipeline_seed,
+            },
+        )
+        for load_factor in config.load_factors
+    ]
+
+
+def run_load_study(
+    config: LoadStudyConfig = LoadStudyConfig(),
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> LoadStudyResult:
+    """Sweep the load grid over the three serving architectures.
+
+    ``workers`` shards the sweep across a process pool (results are
+    bitwise-identical to the serial path at any worker count) and ``cache``
+    reuses shard results across runs; see :mod:`repro.parallel`.
+    """
     if not config.load_factors:
         raise ConfigurationError("load_factors must not be empty")
     for factor in config.load_factors:
         if factor <= 0:
             raise ConfigurationError(f"load factors must be positive, got {factor}")
 
-    pipeline = HybridPipelineSimulator(
-        switch_s=config.switch_s,
-        num_reads=config.num_reads,
-        evaluate_solutions=False,
+    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
+        load_study_tasks(config)
     )
 
     rows: List[LoadStudyRow] = []
-    detail: Optional[ServingReport] = None
-    for load_factor in config.load_factors:
-        jobs = _workload(config, load_factor)
-
-        serialized = RANServingSimulator(
-            pool=BackendPool([_annealer_backend(config, lanes=1)]),
-            policy="fifo",
-            max_batch_size=1,
-            admission_control=False,
-        ).run(jobs)
-
-        # The Figure-2 pipeline consumes the merged trace as a channel-use
-        # stream (re-indexed into global arrival order).
-        channel_uses = [
-            dataclasses.replace(job.channel_use, index=position)
-            for position, job in enumerate(jobs)
-        ]
-        pipelined = pipeline.run(
-            channel_uses, pipelined=True, rng=stable_seed("load-pipe", config.base_seed)
-        )
-
-        pooled_backends = [_annealer_backend(config, lanes=config.lanes)] * config.annealer_workers
-        pooled_backends += [ClassicalServingBackend()] * config.classical_workers
-        pooled = RANServingSimulator(
-            pool=BackendPool(pooled_backends),
-            policy=config.policy,
-            max_batch_size=config.max_batch_size,
-            admission_control=config.admission_control,
-        ).run(jobs)
-        detail = pooled
-
+    for load_factor, (serialized, pipelined, pooled) in zip(config.load_factors, shards):
         rows.append(
             LoadStudyRow(
                 load_factor=load_factor,
@@ -225,8 +272,7 @@ def run_load_study(config: LoadStudyConfig = LoadStudyConfig()) -> LoadStudyResu
             )
         )
 
-    assert detail is not None
-    return LoadStudyResult(rows=rows, detail=detail, config=config)
+    return LoadStudyResult(rows=rows, detail=shards[-1][2], config=config)
 
 
 def format_load_study_table(result: LoadStudyResult) -> str:

@@ -22,10 +22,12 @@ and exactly reproducible from the configuration's seed.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.parallel import ParallelRunner, ResultCache, ShardTask
 from repro.serving.autoscale import (
     AutoscaleConfig,
     AutoscaleController,
@@ -44,6 +46,7 @@ __all__ = [
     "ScenarioStudyConfig",
     "ScenarioStudyRow",
     "ScenarioStudyResult",
+    "scenario_study_tasks",
     "run_scenario_study",
     "format_scenario_table",
 ]
@@ -151,7 +154,7 @@ def _annealer(config: ScenarioStudyConfig) -> AnnealerServingBackend:
     return AnnealerServingBackend(num_reads=config.num_reads, lanes=config.lanes)
 
 
-def _scenario_jobs(config: ScenarioStudyConfig, name: str):
+def _scenario_jobs(config: ScenarioStudyConfig, name: str, workload_seed: int):
     scenario = build_scenario(name, config.num_cells, horizon_us=config.horizon_us)
     configs = [MIMOConfig(config.num_users, modulation) for modulation in config.modulations]
     profiles = uniform_cell_profiles(
@@ -165,7 +168,7 @@ def _scenario_jobs(config: ScenarioStudyConfig, name: str):
     jobs = generate_serving_jobs(
         profiles,
         config.max_jobs_per_user,
-        rng=stable_seed("scenario-study", name, config.base_seed),
+        rng=workload_seed,
         scenario=scenario,
     )
     if not jobs:
@@ -176,31 +179,35 @@ def _scenario_jobs(config: ScenarioStudyConfig, name: str):
     return jobs
 
 
-def run_scenario_study(
-    config: ScenarioStudyConfig = ScenarioStudyConfig(),
-) -> ScenarioStudyResult:
-    """Serve every catalog scenario with the static and autoscaled pools."""
-    if not config.scenarios:
-        raise ConfigurationError("scenarios must not be empty")
-    if config.static_workers < 1:
+def _scenario_shard(
+    config: ScenarioStudyConfig, arm: str, workload_seed: int
+) -> ServingReport:
+    """One (scenario, arm) shard of the catalog sweep.
+
+    ``config.scenarios`` holds exactly the shard's scenario, and every bit of
+    shard randomness flows through ``workload_seed`` (the explicitly derived
+    per-scenario child seed) — the simulation itself is timing-modelled and
+    deterministic.  Shards are therefore independent of execution order and
+    worker count, and the (function, config, seed) triple is the shard's
+    complete cache identity.
+    """
+    if len(config.scenarios) != 1:
         raise ConfigurationError(
-            f"static_workers must be at least 1, got {config.static_workers}"
+            f"a scenario shard serves exactly one scenario, got {config.scenarios!r}"
         )
+    name = config.scenarios[0]
+    jobs = _scenario_jobs(config, name, workload_seed)
 
-    rows: List[ScenarioStudyRow] = []
-    detail: Optional[ServingReport] = None
-    for name in config.scenarios:
-        jobs = _scenario_jobs(config, name)
-
+    if arm == "static":
         static_backends: List = [_annealer(config)] * config.static_workers
         static_backends += [ClassicalServingBackend()] * config.classical_workers
-        static = RANServingSimulator(
+        return RANServingSimulator(
             pool=BackendPool(static_backends),
             policy=config.policy,
             max_batch_size=config.max_batch_size,
             admission_control=config.admission_control,
         ).run(jobs)
-
+    if arm == "autoscaled":
         controller = AutoscaleController(
             AutoscaleConfig(
                 interval_us=config.autoscale_interval_us,
@@ -209,7 +216,7 @@ def run_scenario_study(
                 max_workers=config.max_workers,
             )
         )
-        autoscaled = RANServingSimulator(
+        return RANServingSimulator(
             pool=ElasticBackendPool(
                 annealer=_annealer(config),
                 max_annealer_workers=config.max_workers,
@@ -221,12 +228,67 @@ def run_scenario_study(
             admission_control=config.admission_control,
             autoscaler=controller,
         ).run(jobs)
-        detail = autoscaled
+    raise ConfigurationError(f"arm must be 'static' or 'autoscaled', got {arm!r}")
 
+
+def scenario_study_tasks(config: ScenarioStudyConfig) -> List[ShardTask]:
+    """The sweep's shard list: one (scenario, arm) task per catalog entry.
+
+    Each task's configuration is the study configuration restricted to its
+    own scenario, and its workload seed is the per-scenario child seed the
+    serial path derives — so a task's cache fingerprint never depends on
+    *which other* scenarios the sweep contains, and editing the catalog
+    re-keys only the touched entries.
+    """
+    tasks: List[ShardTask] = []
+    for name in config.scenarios:
+        shard_config = dataclasses.replace(config, scenarios=(name,))
+        workload_seed = stable_seed("scenario-study", name, config.base_seed)
+        for arm in ("static", "autoscaled"):
+            tasks.append(
+                ShardTask(
+                    key=("scenario-study", name, arm),
+                    fn=_scenario_shard,
+                    kwargs={
+                        "config": shard_config,
+                        "arm": arm,
+                        "workload_seed": workload_seed,
+                    },
+                )
+            )
+    return tasks
+
+
+def run_scenario_study(
+    config: ScenarioStudyConfig = ScenarioStudyConfig(),
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> ScenarioStudyResult:
+    """Serve every catalog scenario with the static and autoscaled pools.
+
+    ``workers`` shards the sweep across a process pool (results are
+    bitwise-identical to the serial path at any worker count) and ``cache``
+    reuses shard results across runs; see :mod:`repro.parallel`.
+    """
+    if not config.scenarios:
+        raise ConfigurationError("scenarios must not be empty")
+    if config.static_workers < 1:
+        raise ConfigurationError(
+            f"static_workers must be at least 1, got {config.static_workers}"
+        )
+
+    reports = ParallelRunner(workers=workers, cache=cache).run_sharded(
+        scenario_study_tasks(config)
+    )
+
+    rows: List[ScenarioStudyRow] = []
+    for position, name in enumerate(config.scenarios):
+        static = reports[2 * position]
+        autoscaled = reports[2 * position + 1]
         rows.append(
             ScenarioStudyRow(
                 scenario=name,
-                num_jobs=len(jobs),
+                num_jobs=autoscaled.num_jobs,
                 offered_load_jobs_per_ms=autoscaled.offered_load_jobs_per_ms,
                 static_miss_rate=static.deadline_miss_rate or 0.0,
                 autoscaled_miss_rate=autoscaled.deadline_miss_rate or 0.0,
@@ -238,8 +300,7 @@ def run_scenario_study(
             )
         )
 
-    assert detail is not None
-    return ScenarioStudyResult(rows=rows, detail=detail, config=config)
+    return ScenarioStudyResult(rows=rows, detail=reports[-1], config=config)
 
 
 def format_scenario_table(result: ScenarioStudyResult) -> str:

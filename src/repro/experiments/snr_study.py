@@ -11,6 +11,7 @@ vectors) end-to-end.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -19,7 +20,9 @@ import numpy as np
 from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.mmse import MMSEDetector
 from repro.classical.zero_forcing import ZeroForcingDetector
+from repro.exceptions import ConfigurationError
 from repro.hybrid.solver import HybridMIMODetector
+from repro.parallel import ParallelRunner, ResultCache, ShardTask
 from repro.transform.mimo_to_qubo import mimo_to_qubo
 from repro.utils.batching import iter_batches
 from repro.utils.rng import ensure_rng, stable_seed
@@ -27,7 +30,13 @@ from repro.wireless.channel import RayleighFadingChannel
 from repro.wireless.metrics import bit_error_rate
 from repro.wireless.mimo import MIMOConfig, simulate_transmission
 
-__all__ = ["SNRStudyConfig", "SNRStudyRow", "run_snr_study", "format_snr_table"]
+__all__ = [
+    "SNRStudyConfig",
+    "SNRStudyRow",
+    "snr_study_tasks",
+    "run_snr_study",
+    "format_snr_table",
+]
 
 
 @dataclass(frozen=True)
@@ -79,81 +88,137 @@ class SNRStudyRow:
     hybrid_ber: float
 
 
+def _snr_point(
+    config: SNRStudyConfig, snr_db: float, annealer: QuantumAnnealerSimulator
+) -> SNRStudyRow:
+    """Average the detectors' BERs over the channel uses of one SNR point.
+
+    Every channel use is seeded by its own explicit child
+    (``stable_seed("snr-use", snr_db, index, base_seed)``), so points are
+    independent of each other and of execution order.
+    """
+    zero_forcing = ZeroForcingDetector()
+    channel_model = RayleighFadingChannel()
+    mimo_config = MIMOConfig(
+        num_users=config.num_users,
+        modulation=config.modulation,
+        num_receive_antennas=config.num_receive_antennas,
+        snr_db=float(snr_db),
+    )
+    mmse = MMSEDetector(noise_variance=mimo_config.noise_variance)
+    hybrid = HybridMIMODetector(
+        sampler=annealer,
+        switch_s=config.switch_s,
+        num_reads=config.num_reads,
+    )
+
+    zf_errors: List[float] = []
+    mmse_errors: List[float] = []
+    hybrid_errors: List[float] = []
+
+    seeds = [
+        stable_seed("snr-use", snr_db, index, config.base_seed)
+        for index in range(config.channel_uses_per_point)
+    ]
+    transmissions = [
+        simulate_transmission(mimo_config, channel_model, seed) for seed in seeds
+    ]
+    encodings = [mimo_to_qubo(transmission.instance) for transmission in transmissions]
+
+    # Linear detectors run per channel use (they are closed-form and
+    # essentially free); the hybrid detector is submitted in batches.
+    for transmission, encoding in zip(transmissions, encodings):
+        zf_bits = encoding.payload_bits(
+            encoding.symbols_to_bits(zero_forcing.detect(transmission.instance))
+        )
+        zf_errors.append(bit_error_rate(transmission.transmitted_bits, zf_bits))
+
+        mmse_bits = encoding.payload_bits(
+            encoding.symbols_to_bits(mmse.detect(transmission.instance))
+        )
+        mmse_errors.append(bit_error_rate(transmission.transmitted_bits, mmse_bits))
+
+    for start, chunk in iter_batches(transmissions, config.batch_size):
+        detections = hybrid.detect_batch(
+            [transmission.instance for transmission in chunk],
+            # One explicit generator per channel use (seeded exactly as
+            # the sequential per-use path would be), so results do not
+            # depend on the batch grouping.
+            rng=[ensure_rng(seed + 1) for seed in seeds[start : start + len(chunk)]],
+        )
+        for transmission, detection in zip(chunk, detections):
+            hybrid_errors.append(
+                bit_error_rate(transmission.transmitted_bits, detection.bits)
+            )
+
+    return SNRStudyRow(
+        snr_db=float(snr_db),
+        channel_uses=config.channel_uses_per_point,
+        zero_forcing_ber=float(np.mean(zf_errors)),
+        mmse_ber=float(np.mean(mmse_errors)),
+        hybrid_ber=float(np.mean(hybrid_errors)),
+    )
+
+
+def _snr_point_shard(
+    config: SNRStudyConfig, batch_size: Optional[int] = None
+) -> SNRStudyRow:
+    """One SNR-point shard; ``config.snr_grid_db`` holds exactly the point.
+
+    ``batch_size`` arrives outside the fingerprinted config (results are
+    proven batch-size-invariant, so the cache key must not depend on it).
+    """
+    if len(config.snr_grid_db) != 1:
+        raise ConfigurationError(
+            f"an SNR shard sweeps exactly one point, got {config.snr_grid_db!r}"
+        )
+    config = dataclasses.replace(config, batch_size=batch_size)
+    annealer = QuantumAnnealerSimulator(seed=stable_seed("snr-study", config.base_seed))
+    return _snr_point(config, float(config.snr_grid_db[0]), annealer)
+
+
+def snr_study_tasks(config: SNRStudyConfig) -> List[ShardTask]:
+    """The sweep's shard list: one task per SNR grid point.
+
+    Each task's configuration is restricted to its own point, so adding or
+    changing one grid point recomputes only that point on a cached re-run;
+    the batch-size-invariant ``batch_size`` travels outside the fingerprint.
+    """
+    return [
+        ShardTask(
+            key=("snr-study", float(snr_db)),
+            fn=_snr_point_shard,
+            kwargs={
+                "config": dataclasses.replace(
+                    config, snr_grid_db=(float(snr_db),), batch_size=None
+                ),
+                "batch_size": config.batch_size,
+            },
+            fingerprint_exclude=("batch_size",),
+        )
+        for snr_db in config.snr_grid_db
+    ]
+
+
 def run_snr_study(
     config: SNRStudyConfig = SNRStudyConfig(),
     sampler: Optional[QuantumAnnealerSimulator] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[SNRStudyRow]:
-    """Sweep SNR and return one row of averaged BERs per SNR point."""
-    annealer = sampler if sampler is not None else QuantumAnnealerSimulator(
-        seed=stable_seed("snr-study", config.base_seed)
+    """Sweep SNR and return one row of averaged BERs per SNR point.
+
+    ``workers`` shards the grid across a process pool (results are
+    bitwise-identical to the serial path at any worker count) and ``cache``
+    reuses point results across runs; see :mod:`repro.parallel`.  A custom
+    ``sampler`` pins the study to the calling process (live simulator objects
+    cannot be shipped to pool workers), so it runs serially and uncached.
+    """
+    if sampler is not None:
+        return [_snr_point(config, float(snr_db), sampler) for snr_db in config.snr_grid_db]
+    return ParallelRunner(workers=workers, cache=cache).run_sharded(
+        snr_study_tasks(config)
     )
-    zero_forcing = ZeroForcingDetector()
-    channel_model = RayleighFadingChannel()
-    rows: List[SNRStudyRow] = []
-
-    for snr_db in config.snr_grid_db:
-        mimo_config = MIMOConfig(
-            num_users=config.num_users,
-            modulation=config.modulation,
-            num_receive_antennas=config.num_receive_antennas,
-            snr_db=float(snr_db),
-        )
-        mmse = MMSEDetector(noise_variance=mimo_config.noise_variance)
-        hybrid = HybridMIMODetector(
-            sampler=annealer,
-            switch_s=config.switch_s,
-            num_reads=config.num_reads,
-        )
-
-        zf_errors: List[float] = []
-        mmse_errors: List[float] = []
-        hybrid_errors: List[float] = []
-
-        seeds = [
-            stable_seed("snr-use", snr_db, index, config.base_seed)
-            for index in range(config.channel_uses_per_point)
-        ]
-        transmissions = [
-            simulate_transmission(mimo_config, channel_model, seed) for seed in seeds
-        ]
-        encodings = [mimo_to_qubo(transmission.instance) for transmission in transmissions]
-
-        # Linear detectors run per channel use (they are closed-form and
-        # essentially free); the hybrid detector is submitted in batches.
-        for transmission, encoding in zip(transmissions, encodings):
-            zf_bits = encoding.payload_bits(
-                encoding.symbols_to_bits(zero_forcing.detect(transmission.instance))
-            )
-            zf_errors.append(bit_error_rate(transmission.transmitted_bits, zf_bits))
-
-            mmse_bits = encoding.payload_bits(
-                encoding.symbols_to_bits(mmse.detect(transmission.instance))
-            )
-            mmse_errors.append(bit_error_rate(transmission.transmitted_bits, mmse_bits))
-
-        for start, chunk in iter_batches(transmissions, config.batch_size):
-            detections = hybrid.detect_batch(
-                [transmission.instance for transmission in chunk],
-                # One explicit generator per channel use (seeded exactly as
-                # the sequential per-use path would be), so results do not
-                # depend on the batch grouping.
-                rng=[ensure_rng(seed + 1) for seed in seeds[start : start + len(chunk)]],
-            )
-            for transmission, detection in zip(chunk, detections):
-                hybrid_errors.append(
-                    bit_error_rate(transmission.transmitted_bits, detection.bits)
-                )
-
-        rows.append(
-            SNRStudyRow(
-                snr_db=float(snr_db),
-                channel_uses=config.channel_uses_per_point,
-                zero_forcing_ber=float(np.mean(zf_errors)),
-                mmse_ber=float(np.mean(mmse_errors)),
-                hybrid_ber=float(np.mean(hybrid_errors)),
-            )
-        )
-    return rows
 
 
 def format_snr_table(rows: Sequence[SNRStudyRow]) -> str:

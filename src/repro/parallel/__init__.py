@@ -1,0 +1,34 @@
+"""Deterministic parallel execution of sharded experiment sweeps.
+
+Every experiment driver in this library decomposes into *shards* —
+independent work units (an instance, an SNR point, a scenario arm) whose
+randomness flows exclusively through explicitly derived child seeds.  This
+package runs those shards across a process pool without changing a single
+bit of the results:
+
+* :class:`~repro.parallel.runner.ShardTask` — one picklable work unit: a
+  top-level function, its keyword arguments, and a stable shard key.
+* :class:`~repro.parallel.runner.ParallelRunner` — executes a task list
+  serially or across a ``ProcessPoolExecutor``; results come back in task
+  order, so the assembled sweep is bitwise-identical to the serial path at
+  any worker count.
+* :class:`~repro.parallel.cache.ResultCache` — a content-addressed on-disk
+  result store keyed by :func:`~repro.parallel.cache.task_fingerprint`
+  (function identity + source digest + canonicalised arguments), so
+  re-running a sweep with one changed point recomputes only that point.
+
+The design contract and determinism guarantee are documented in
+``docs/parallel.md``.
+"""
+
+from repro.parallel.cache import ResultCache, canonical_token, task_fingerprint
+from repro.parallel.runner import ParallelRunner, RunStats, ShardTask
+
+__all__ = [
+    "ParallelRunner",
+    "RunStats",
+    "ShardTask",
+    "ResultCache",
+    "canonical_token",
+    "task_fingerprint",
+]

@@ -202,17 +202,27 @@ class ElasticBackendPool(BackendPool):
         return worker
 
     def deactivate_worker(self, now_us: float) -> Optional[Worker]:
-        """Park the highest-index active annealer worker that is idle.
+        """Park the *idlest* active annealer worker; never one that is busy.
 
-        Busy workers are never parked mid-batch; if every active worker is
-        occupied the scale-down is skipped (the controller will retry on a
-        later tick).
+        A worker whose server frees up in the future (``free_at_us`` beyond
+        ``now_us``) is mid-batch: parking it would silently strand its
+        in-flight work, so busy workers are never candidates.  Among the
+        idle workers the one idle longest (smallest ``free_at_us``, ties
+        broken toward the highest index for determinism) is parked — it is
+        the least likely to be warm-path capacity.  If every active worker
+        is occupied the scale-down is skipped and the controller retries on
+        a later tick.
         """
-        for worker in reversed(self.active_annealer_workers):
-            if worker.server.idle_at(now_us):
-                worker.active = False
-                return worker
-        return None
+        idle = [
+            worker
+            for worker in self.active_annealer_workers
+            if worker.server.idle_at(now_us)
+        ]
+        if not idle:
+            return None
+        worker = min(idle, key=lambda candidate: (candidate.server.free_at_us, -candidate.index))
+        worker.active = False
+        return worker
 
 
 class AutoscaleController:

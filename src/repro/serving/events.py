@@ -18,8 +18,11 @@ are exactly reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Any, List, Tuple
+
+from repro.exceptions import ConfigurationError
 
 __all__ = ["StageTiming", "FifoServer", "EventQueue"]
 
@@ -88,8 +91,19 @@ class EventQueue:
         self._sequence = 0
 
     def push(self, time_us: float, payload: Any) -> None:
-        """Schedule ``payload`` at ``time_us``."""
-        heapq.heappush(self._heap, (float(time_us), self._sequence, payload))
+        """Schedule ``payload`` at ``time_us``.
+
+        ``time_us`` must be finite and non-negative: a NaN timestamp
+        compares false against everything and silently corrupts the heap
+        invariant (events then pop in arbitrary order), and negative or
+        infinite times have no meaning on the simulation clock.
+        """
+        time_us = float(time_us)
+        if not math.isfinite(time_us) or time_us < 0.0:
+            raise ConfigurationError(
+                f"event timestamps must be finite and non-negative, got {time_us}"
+            )
+        heapq.heappush(self._heap, (time_us, self._sequence, payload))
         self._sequence += 1
 
     def pop(self) -> Tuple[float, Any]:

@@ -19,6 +19,7 @@ Two policies are provided:
 from __future__ import annotations
 
 import abc
+import math
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
@@ -59,7 +60,15 @@ class EdfPolicy(SchedulingPolicy):
     name = "edf"
 
     def key(self, job: ServingJob) -> Tuple:
-        deadline = job.deadline_us if job.deadline_us is not None else float("inf")
+        # Deadline-free jobs sort last; a non-finite deadline (NaN would
+        # poison tuple comparison and make the order depend on input
+        # permutation) is treated the same way.  Equal-deadline jobs fall
+        # back to arrival order and then the unique job_id, mirroring
+        # FifoPolicy, so the policy is a total order: select_batch output
+        # is invariant under any permutation of the queue.
+        deadline = job.deadline_us
+        if deadline is None or not math.isfinite(deadline):
+            deadline = float("inf")
         return (deadline, job.arrival_us, job.job_id)
 
 

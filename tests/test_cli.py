@@ -1,8 +1,16 @@
 """Tests for the repro-experiments command line interface."""
 
+import pathlib
+
 import pytest
 
 import repro.cli as cli
+
+
+@pytest.fixture(autouse=True)
+def _run_in_tmp(tmp_path, monkeypatch):
+    """Keep the CLI's default shard cache (.repro-cache) out of the repo."""
+    monkeypatch.chdir(tmp_path)
 
 
 class TestParser:
@@ -22,6 +30,18 @@ class TestParser:
         arguments = cli.build_parser().parse_args(["fig6", "--quick"])
         assert arguments.experiment == "fig6"
         assert arguments.quick
+
+    def test_parses_parallel_flags(self):
+        arguments = cli.build_parser().parse_args(
+            ["scenarios", "--workers", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+        )
+        assert arguments.workers == 4
+        assert arguments.no_cache
+        assert arguments.cache_dir == "/tmp/c"
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(SystemExit):
+            cli.main(["scenarios", "--quick", "--workers", "0"])
 
 
 class TestMain:
@@ -61,3 +81,30 @@ class TestMain:
         assert exit_code == 0
         assert "static vs autoscaled pools" in captured.out
         assert "autoscaled serving report" in captured.out
+        # The default on-disk shard cache was populated in the CWD.
+        assert list(pathlib.Path(".repro-cache").glob("*/*.pkl"))
+
+    def test_workers_match_serial_output(self, capsys):
+        exit_code = cli.main(["snr", "--quick", "--no-cache"])
+        serial = capsys.readouterr().out
+        assert exit_code == 0
+        exit_code = cli.main(["snr", "--quick", "--no-cache", "--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert exit_code == 0
+        assert parallel == serial
+
+    def test_no_cache_skips_the_cache_directory(self, capsys):
+        exit_code = cli.main(["serve", "--quick", "--no-cache"])
+        assert exit_code == 0
+        assert "deadline-miss" in capsys.readouterr().out
+        assert not pathlib.Path(".repro-cache").exists()
+
+    def test_cached_rerun_reproduces_output(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cli-cache")
+        exit_code = cli.main(["scenarios", "--quick", "--cache-dir", cache_dir])
+        cold = capsys.readouterr().out
+        assert exit_code == 0
+        exit_code = cli.main(["scenarios", "--quick", "--cache-dir", cache_dir])
+        warm = capsys.readouterr().out
+        assert exit_code == 0
+        assert warm == cold

@@ -1,0 +1,147 @@
+"""Sharded-driver contracts: parallel == serial, and cache correctness.
+
+Every rewired experiment driver (fig6, fig8, snr, load, scenarios) must
+return results bitwise-identical to its serial path at any worker count, and
+a cached re-run of the scenario study must reproduce byte-identical reports
+while recomputing nothing; changing one shard's seed recomputes exactly that
+shard.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    Figure6Config,
+    Figure8Config,
+    LoadStudyConfig,
+    ScenarioStudyConfig,
+    SNRStudyConfig,
+    format_load_study_table,
+    format_scenario_table,
+    run_figure6,
+    run_figure8,
+    run_load_study,
+    run_scenario_study,
+    run_snr_study,
+    scenario_study_tasks,
+)
+from repro.parallel import ParallelRunner, ResultCache, ShardTask
+
+
+class TestParallelEqualsSerial:
+    def test_figure6(self):
+        config = Figure6Config.quick()
+        assert run_figure6(config, workers=2) == run_figure6(config)
+
+    def test_figure8(self):
+        config = Figure8Config.quick()
+        assert run_figure8(config, workers=2) == run_figure8(config)
+
+    def test_figure8_with_fr_oracle(self):
+        config = dataclasses.replace(Figure8Config.quick(), include_fr_oracle=True)
+        assert run_figure8(config, workers=2) == run_figure8(config)
+
+    def test_snr_study(self):
+        config = SNRStudyConfig.quick()
+        assert run_snr_study(config, workers=2) == run_snr_study(config)
+
+    def test_load_study(self):
+        config = LoadStudyConfig.quick()
+        serial = run_load_study(config)
+        parallel = run_load_study(config, workers=2)
+        assert parallel.rows == serial.rows
+        assert format_load_study_table(parallel) == format_load_study_table(serial)
+
+    def test_scenario_study(self):
+        config = ScenarioStudyConfig.quick()
+        serial = run_scenario_study(config)
+        parallel = run_scenario_study(config, workers=2)
+        assert parallel.rows == serial.rows
+        assert format_scenario_table(parallel) == format_scenario_table(serial)
+
+
+class TestScenarioCacheCorrectness:
+    def test_cached_rerun_is_byte_identical_and_all_hits(self, tmp_path):
+        config = ScenarioStudyConfig.quick()
+        cache = ResultCache(tmp_path / "cache")
+        num_shards = len(scenario_study_tasks(config))
+
+        cold = run_scenario_study(config, cache=cache)
+        assert cache.misses == num_shards and cache.hits == 0
+
+        cache.reset_counters()
+        warm = run_scenario_study(config, cache=cache)
+        assert cache.hits == num_shards and cache.misses == 0
+        assert format_scenario_table(warm) == format_scenario_table(cold)
+        assert warm.rows == cold.rows
+
+    def test_changed_seed_invalidates_only_the_affected_shard(self, tmp_path):
+        config = ScenarioStudyConfig.quick()
+        cache = ResultCache(tmp_path / "cache")
+        runner = ParallelRunner(cache=cache)
+        tasks = scenario_study_tasks(config)
+        baseline = runner.run_sharded(tasks)
+
+        # Re-seed one scenario arm's workload; every other shard must hit.
+        edited = list(tasks)
+        kwargs = dict(edited[0].kwargs)
+        kwargs["workload_seed"] = kwargs["workload_seed"] + 1
+        edited[0] = ShardTask(key=edited[0].key, fn=edited[0].fn, kwargs=kwargs)
+
+        cache.reset_counters()
+        results = runner.run_sharded(edited)
+        assert cache.misses == 1
+        assert cache.hits == len(tasks) - 1
+        assert runner.last_run.executed == 1
+        # The re-seeded shard genuinely changed; the untouched ones did not.
+        assert results[0].outcomes != baseline[0].outcomes
+        assert results[1].outcomes == baseline[1].outcomes
+
+    def test_cache_config_sensitivity(self, tmp_path):
+        # A plant-parameter change re-keys every shard (the results depend
+        # on it); a catalog extension only computes the new scenario.
+        config = ScenarioStudyConfig.quick()
+        cache = ResultCache(tmp_path / "cache")
+        run_scenario_study(config, cache=cache)
+
+        cache.reset_counters()
+        extended = dataclasses.replace(config, scenarios=config.scenarios + ("diurnal",))
+        run_scenario_study(extended, cache=cache)
+        assert cache.hits == 2 * len(config.scenarios)
+        assert cache.misses == 2  # the two new diurnal arms
+
+        cache.reset_counters()
+        retuned = dataclasses.replace(config, static_workers=config.static_workers + 1)
+        run_scenario_study(retuned, cache=cache)
+        assert cache.misses == 2 * len(config.scenarios)
+
+    def test_fig8_method_knobs_invalidate_only_their_method(self, tmp_path):
+        # intermediate_initial_quality is read only by the RA family shard;
+        # toggling it must leave the FA and FR-oracle shards cached.
+        config = dataclasses.replace(
+            Figure8Config.quick(), include_fr_oracle=True,
+            intermediate_initial_quality=None,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        run_figure8(config, cache=cache)
+        num_shards = 2 + len(config.grid())
+
+        cache.reset_counters()
+        toggled = dataclasses.replace(config, intermediate_initial_quality=6.0)
+        run_figure8(toggled, cache=cache)
+        assert cache.misses == 1  # the RA family shard only
+        assert cache.hits == num_shards - 1
+
+    def test_batch_size_is_cache_transparent(self, tmp_path):
+        # Results are proven batch-size-invariant, so re-chunking a sweep
+        # must replay from the cache, not recompute.
+        config = SNRStudyConfig.quick()
+        cache = ResultCache(tmp_path / "cache")
+        baseline = run_snr_study(config, cache=cache)
+
+        cache.reset_counters()
+        rechunked = dataclasses.replace(config, batch_size=1)
+        rows = run_snr_study(rechunked, cache=cache)
+        assert cache.hits == len(config.snr_grid_db) and cache.misses == 0
+        assert rows == baseline

@@ -414,6 +414,31 @@ class TestElasticPool:
             worker.server.serve(0.0, 100.0)
         assert pool.deactivate_worker(50.0) is None
 
+    def test_deactivation_never_parks_a_busy_worker(self):
+        # A worker whose batch finishes in the future must never be parked
+        # "idle" mid-job — that would strand its in-flight work.  The guard
+        # must survive the idlest-candidate selection.
+        pool = _elastic_pool(max_workers=3, initial=3)
+        pool.annealer_workers[0].server.serve(0.0, 100.0)
+        pool.annealer_workers[2].server.serve(0.0, 100.0)
+        parked = pool.deactivate_worker(50.0)
+        assert parked is pool.annealer_workers[1]
+        assert pool.annealer_workers[0].active
+        assert pool.annealer_workers[2].active
+        # The lone remaining idle candidate gone, further scale-downs skip.
+        pool.annealer_workers[1].active = True  # restore
+        pool.annealer_workers[1].server.serve(50.0, 100.0)
+        assert pool.deactivate_worker(60.0) is None
+
+    def test_deactivation_prefers_the_idlest_worker(self):
+        # Among idle workers the one idle longest (smallest free_at_us) is
+        # parked, not simply the highest index.
+        pool = _elastic_pool(max_workers=3, initial=3)
+        pool.annealer_workers[1].server.serve(0.0, 40.0)  # idle since t=40
+        pool.annealer_workers[2].server.serve(0.0, 100.0)  # busy until t=100
+        parked = pool.deactivate_worker(50.0)
+        assert parked is pool.annealer_workers[0]  # idle since t=0
+
     def test_reset_restores_initial_layout(self):
         pool = _elastic_pool(max_workers=4, initial=1)
         pool.activate_worker(0.0, warmup_us=0.0)

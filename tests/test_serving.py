@@ -93,6 +93,19 @@ class TestEventQueue:
         queue.push(1.0, None)
         assert queue and len(queue) == 1
 
+    @pytest.mark.parametrize("bad_time", [float("nan"), -1.0, float("inf"), float("-inf")])
+    def test_rejects_nan_negative_and_infinite_timestamps(self, bad_time):
+        # A NaN compares false against everything, so once pushed it would
+        # silently corrupt the heap order; negative/infinite times have no
+        # meaning on the simulation clock.  All are rejected up front.
+        queue = EventQueue()
+        queue.push(1.0, "ok")
+        with pytest.raises(ConfigurationError):
+            queue.push(bad_time, "bad")
+        # The queue is untouched by the rejected push.
+        assert len(queue) == 1
+        assert queue.pop() == (1.0, "ok")
+
 
 # ---------------------------------------------------------------------- #
 # Workload generation
@@ -257,6 +270,42 @@ class TestPolicies:
 
     def test_select_batch_empty(self):
         assert select_batch([], FifoPolicy(), None) == []
+
+    def test_edf_key_is_a_total_order(self, rng):
+        # Equal-deadline (and deadline-free) jobs tie-break on arrival and
+        # then the unique job_id, mirroring FifoPolicy, so no two jobs
+        # compare equal and scheduling never depends on queue order.
+        policy = EdfPolicy()
+        equal = [_manual_job(job_id, 5.0, 400.0, rng) for job_id in range(4)]
+        free = [_manual_job(10 + job_id, 5.0, None, rng) for job_id in range(2)]
+        keys = [policy.key(job) for job in equal + free]
+        assert len(set(keys)) == len(keys)
+        assert min(equal + free, key=policy.key) is equal[0]
+
+    def test_edf_treats_nonfinite_deadline_as_deadline_free(self):
+        import types
+
+        policy = EdfPolicy()
+        nan_job = types.SimpleNamespace(deadline_us=float("nan"), arrival_us=1.0, job_id=0)
+        free_job = types.SimpleNamespace(deadline_us=None, arrival_us=1.0, job_id=1)
+        # A NaN deadline would poison tuple comparison (every comparison is
+        # false), making min()/sorted() order-dependent; it sorts last instead.
+        assert policy.key(nan_job)[0] == float("inf")
+        assert policy.key(nan_job) < policy.key(free_job)
+
+    def test_edf_select_batch_invariant_under_permutation(self, rng):
+        import itertools
+
+        # Same deadline, same arrival: only the job_id tie-break remains.
+        jobs = [_manual_job(job_id, 5.0, 400.0, rng) for job_id in range(4)]
+        expected = None
+        for permutation in itertools.permutations(jobs):
+            queue = list(permutation)
+            batch = [job.job_id for job in select_batch(queue, EdfPolicy(), 3)]
+            if expected is None:
+                expected = batch
+            assert batch == expected
+        assert expected == [0, 1, 2]
 
 
 # ---------------------------------------------------------------------- #
@@ -578,3 +627,38 @@ class TestServingReportEdgeCases:
         assert report.deadline_miss_rate == pytest.approx(1.0)
         assert report.missed_jobs == 4
         assert report.num_jobs == 4
+
+    def test_tail_percentiles_are_observed_latencies_for_small_populations(self):
+        # Regression: with N < 100 jobs, linear percentile interpolation
+        # reported a p99 *below any observed latency* (e.g. 99.1 us for
+        # latencies 10..100 us).  The conservative "higher" method pins the
+        # tail to an actually-observed job.
+        from repro.serving.report import build_serving_report
+
+        latencies = [10.0 * (i + 1) for i in range(10)]  # 10, 20, ..., 100
+        outcomes = [
+            _outcome(i, float(i), float(i), float(i) + latency, None, None)
+            for i, latency in enumerate(latencies)
+        ]
+        report = build_serving_report(outcomes, policy="fifo", backend_utilization=[])
+        assert report.p99_latency_us == pytest.approx(100.0)
+        assert report.p95_latency_us == pytest.approx(100.0)
+        assert report.p99_latency_us in latencies
+        assert report.p95_latency_us in latencies
+        # The tail never under-reports the slowest observed job at this N.
+        assert report.p99_latency_us >= max(latencies)
+
+    def test_tail_percentiles_observed_at_larger_populations(self):
+        from repro.serving.report import build_serving_report
+
+        latencies = [float(i + 1) for i in range(60)]  # 1..60
+        outcomes = [
+            _outcome(i, float(i), float(i), float(i) + latency, None, None)
+            for i, latency in enumerate(latencies)
+        ]
+        report = build_serving_report(outcomes, policy="fifo", backend_utilization=[])
+        assert report.p95_latency_us in latencies
+        assert report.p99_latency_us in latencies
+        # "higher" rounds up to the next observed order statistic.
+        assert report.p95_latency_us == pytest.approx(58.0)
+        assert report.p99_latency_us == pytest.approx(60.0)
