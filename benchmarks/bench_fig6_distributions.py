@@ -7,7 +7,6 @@ headline ordering: the randomly-initialised reverse anneal produces the worst
 sample distribution.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import Figure6Config, format_figure6_table, run_figure6

@@ -11,7 +11,6 @@ on the default typical instance and checks that the hybrid wins by a factor in
 (or above) the paper's 2-10x band.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import HeadlineConfig, format_headline_report, run_headline

@@ -40,7 +40,9 @@ class DetectorReport:
     mean_wall_time_ms: float
 
 
-def _evaluate(name: str, detect: Callable, channel_uses, encodings, ground_energies) -> DetectorReport:
+def _evaluate(
+    name: str, detect: Callable, channel_uses, encodings, ground_energies
+) -> DetectorReport:
     errors: List[float] = []
     exact: List[bool] = []
     times: List[float] = []
@@ -77,9 +79,23 @@ def main() -> None:
     hybrid = HybridMIMODetector(switch_s=0.41, num_reads=200)
 
     reports = [
-        _evaluate("zero-forcing", lambda t: zero_forcing.detect(t.instance), channel_uses, encodings, ground_energies),
-        _evaluate("mmse", lambda t: mmse.detect(t.instance), channel_uses, encodings, ground_energies),
-        _evaluate("k-best (K=16)", lambda t: k_best.detect(t.instance), channel_uses, encodings, ground_energies),
+        _evaluate(
+            "zero-forcing",
+            lambda t: zero_forcing.detect(t.instance),
+            channel_uses,
+            encodings,
+            ground_energies,
+        ),
+        _evaluate(
+            "mmse", lambda t: mmse.detect(t.instance), channel_uses, encodings, ground_energies
+        ),
+        _evaluate(
+            "k-best (K=16)",
+            lambda t: k_best.detect(t.instance),
+            channel_uses,
+            encodings,
+            ground_energies,
+        ),
         _evaluate(
             "hybrid GS+RA",
             lambda t: hybrid.detect(t.instance, rng=1).symbols,
@@ -89,7 +105,10 @@ def main() -> None:
         ),
     ]
 
-    print(f"Base-station batch: {num_channel_uses} channel uses of {config.num_users}-user {config.modulation}")
+    print(
+        f"Base-station batch: {num_channel_uses} channel uses of "
+        f"{config.num_users}-user {config.modulation}"
+    )
     print(f"{'detector':>15}  {'BER':>7}  {'exact-ML rate':>13}  {'wall time (ms)':>14}")
     for report in reports:
         print(

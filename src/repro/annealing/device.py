@@ -21,7 +21,7 @@ the D-Wave 2000Q the paper uses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -129,7 +129,11 @@ class DeviceModel:
             )
         if self.field_noise_sigma < 0 or self.coupling_noise_sigma < 0:
             raise ConfigurationError("noise sigmas must be non-negative")
-        if self.programming_time_us < 0 or self.readout_time_us < 0 or self.inter_sample_delay_us < 0:
+        if (
+            self.programming_time_us < 0
+            or self.readout_time_us < 0
+            or self.inter_sample_delay_us < 0
+        ):
             raise ConfigurationError("timing constants must be non-negative")
 
     # ------------------------------------------------------------------ #

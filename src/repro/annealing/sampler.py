@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.annealing.backend import AnnealingBackend
 from repro.annealing.device import DeviceModel
-from repro.annealing.embedding import Embedding, embed_ising, find_clique_embedding, unembed_sampleset
+from repro.annealing.embedding import embed_ising, find_clique_embedding, unembed_sampleset
 from repro.annealing.sampleset import SampleSet
 from repro.annealing.schedule import (
     AnnealSchedule,

@@ -374,6 +374,8 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
         spins = np.where(cosines > 0.0, 1, -1).astype(np.int8)
         undecided = np.isclose(cosines, 0.0)
         if np.any(undecided):
-            random_spins = generator.choice(np.array([-1, 1], dtype=np.int8), size=int(undecided.sum()))
+            random_spins = generator.choice(
+                np.array([-1, 1], dtype=np.int8), size=int(undecided.sum())
+            )
             spins[undecided] = random_spins
         return spins

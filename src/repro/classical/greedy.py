@@ -138,7 +138,9 @@ class GreedySearchSolver(QuboSolver):
 
     name = "greedy-search"
 
-    def __init__(self, order: str = "adaptive", modelled_time_per_variable_us: float = 0.01) -> None:
+    def __init__(
+        self, order: str = "adaptive", modelled_time_per_variable_us: float = 0.01
+    ) -> None:
         if modelled_time_per_variable_us < 0:
             raise ConfigurationError(
                 "modelled_time_per_variable_us must be non-negative, "

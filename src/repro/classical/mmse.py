@@ -65,7 +65,9 @@ class MMSEDetector(MIMODetector):
         soft_symbols = filter_matrix @ instance.received
         return ZeroForcingDetector.quantise(instance, soft_symbols)
 
-    def soft_estimate(self, instance: MIMOInstance, noise_variance: Optional[float] = None) -> np.ndarray:
+    def soft_estimate(
+        self, instance: MIMOInstance, noise_variance: Optional[float] = None
+    ) -> np.ndarray:
         """Return the unquantised MMSE symbol estimates."""
         variance = noise_variance if noise_variance is not None else (self.noise_variance or 0.0)
         channel = instance.channel_matrix

@@ -12,6 +12,7 @@ Installed as ``repro-experiments``::
     repro-experiments constraints     # Figure 4  (soft constraints)
     repro-experiments snr             # extension: BER vs SNR under AWGN
     repro-experiments pause           # extension: the power of pausing
+    repro-experiments robustness      # extension: impairment robustness sweep
     repro-experiments serve           # serving layer: multi-user load sweep
     repro-experiments scenarios       # time-varying scenarios: static vs autoscaled
     repro-experiments all             # everything, in order
@@ -23,8 +24,9 @@ experiments submit per batched annealer/solver call (the default submits each
 experiment's natural instance group as one batch); results are identical for
 every batch size thanks to per-instance child generators.
 
-``--workers N`` shards the sweep-style experiments (fig6, fig8, snr, serve,
-scenarios) across ``N`` processes — results are bitwise-identical to the
+``--workers N`` shards the sweep-style experiments (fig6, fig8, snr,
+robustness, serve, scenarios) across ``N`` processes — results are
+bitwise-identical to the
 serial run at any worker count.  Shard results are cached on disk under
 ``--cache-dir`` (default ``.repro-cache``) so a re-run with one changed
 point recomputes only that point; ``--no-cache`` disables the cache.
@@ -51,6 +53,7 @@ from repro.experiments import (
     PauseAblationConfig,
     ScenarioStudyConfig,
     PipelineStudyConfig,
+    RobustnessStudyConfig,
     SNRStudyConfig,
     SoftConstraintConfig,
     format_figure3_table,
@@ -62,6 +65,7 @@ from repro.experiments import (
     format_load_study_table,
     format_pause_table,
     format_pipeline_table,
+    format_robustness_table,
     format_scenario_table,
     format_snr_table,
     format_soft_constraint_table,
@@ -74,6 +78,7 @@ from repro.experiments import (
     run_load_study,
     run_pause_ablation,
     run_pipeline_study,
+    run_robustness_study,
     run_scenario_study,
     run_snr_study,
     run_soft_constraint_study,
@@ -156,6 +161,16 @@ def _run_pause(scale, batch_size, workers, cache) -> str:
     )
 
 
+def _run_robustness(scale, batch_size, workers, cache) -> str:
+    return format_robustness_table(
+        run_robustness_study(
+            _select(RobustnessStudyConfig, scale, batch_size),
+            workers=workers,
+            cache=cache,
+        )
+    )
+
+
 def _run_serve(scale, batch_size, workers, cache) -> str:
     config = _select(LoadStudyConfig, scale)
     if batch_size is not None:
@@ -170,7 +185,8 @@ def _run_scenarios(scale, batch_size, workers, cache) -> str:
     return format_scenario_table(run_scenario_study(config, workers=workers, cache=cache))
 
 
-_EXPERIMENTS: Dict[str, Callable[[str, Optional[int], Optional[int], Optional[ResultCache]], str]] = {
+_ExperimentRunner = Callable[[str, Optional[int], Optional[int], Optional[ResultCache]], str]
+_EXPERIMENTS: Dict[str, _ExperimentRunner] = {
     "fig3": _run_fig3,
     "fig6": _run_fig6,
     "fig7": _run_fig7,
@@ -181,6 +197,7 @@ _EXPERIMENTS: Dict[str, Callable[[str, Optional[int], Optional[int], Optional[Re
     "constraints": _run_constraints,
     "snr": _run_snr,
     "pause": _run_pause,
+    "robustness": _run_robustness,
     "serve": _run_serve,
     "scenarios": _run_scenarios,
 }
@@ -223,9 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="shard the sweep-style experiments (fig6, fig8, snr, serve, "
-        "scenarios) across N processes; results are bitwise-identical to the "
-        "serial run at any worker count (default: serial)",
+        help="shard the sweep-style experiments (fig6, fig8, snr, robustness, "
+        "serve, scenarios) across N processes; results are bitwise-identical "
+        "to the serial run at any worker count (default: serial)",
     )
     parser.add_argument(
         "--no-cache",

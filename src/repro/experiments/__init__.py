@@ -19,6 +19,8 @@ E-F4      Figure 4 — soft-information constraints (ablation)
 E-AB1     Ablation — initialiser quality (GS / ZF / MMSE / sphere)
 E-X1      Extension — BER vs SNR under AWGN
 E-X2      Extension — the power of pausing (pause-duration ablation)
+E-X3      Extension — detection robustness under channel impairments
+          (correlation, Doppler, imperfect CSI, interference)
 E-SV      Serving — deadline-miss rate vs offered load across the
           serialized / pipelined / pooled serving architectures
 E-SC      Scenarios — static vs autoscaled pools across the
@@ -110,6 +112,14 @@ from repro.experiments.scenario_study import (
     run_scenario_study,
     format_scenario_table,
 )
+from repro.experiments.robustness_study import (
+    ROBUSTNESS_AXES,
+    RobustnessStudyConfig,
+    RobustnessRow,
+    robustness_tasks,
+    run_robustness_study,
+    format_robustness_table,
+)
 
 __all__ = [
     "InstanceBundle",
@@ -172,4 +182,10 @@ __all__ = [
     "scenario_study_tasks",
     "run_scenario_study",
     "format_scenario_table",
+    "ROBUSTNESS_AXES",
+    "RobustnessStudyConfig",
+    "RobustnessRow",
+    "robustness_tasks",
+    "run_robustness_study",
+    "format_robustness_table",
 ]

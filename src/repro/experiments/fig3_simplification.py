@@ -21,9 +21,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.instances import synthesize_instance, users_for_variables, variables_for
+from repro.experiments.instances import synthesize_instance, variables_for
 from repro.qubo.preprocessing import simplify_qubo
-from repro.wireless.modulation import get_modulation
 
 __all__ = ["Figure3Config", "Figure3Row", "run_figure3", "format_figure3_table"]
 
@@ -110,7 +109,8 @@ def format_figure3_table(rows: Sequence[Figure3Row]) -> str:
     """Render the Figure 3 series as an aligned text table."""
     lines = [
         "Figure 3 - QUBO simplification by variable prefixing",
-        f"{'modulation':>10}  {'users':>5}  {'vars':>4}  {'simplified ratio':>16}  {'avg fixed vars':>14}",
+        f"{'modulation':>10}  {'users':>5}  {'vars':>4}  {'simplified ratio':>16}  "
+        f"{'avg fixed vars':>14}",
     ]
     for row in rows:
         lines.append(

@@ -22,8 +22,8 @@ best TTS beats FA's by a sizeable factor.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -355,7 +355,8 @@ def format_figure8_table(rows: Sequence[Figure8Row]) -> str:
     """Render the Figure 8 sweep as an aligned text table."""
     lines = [
         "Figure 8 - success probability and TTS(99%) vs switch/pause location s_p",
-        f"{'method':>16}  {'s_p':>5}  {'p*':>7}  {'TTS (us)':>12}  {'duration (us)':>13}  {'dE_IS%':>7}",
+        f"{'method':>16}  {'s_p':>5}  {'p*':>7}  {'TTS (us)':>12}  {'duration (us)':>13}  "
+        f"{'dE_IS%':>7}",
     ]
     for row in sorted(rows, key=lambda item: (item.method, item.switch_s)):
         tts_text = f"{row.tts_us:.1f}" if np.isfinite(row.tts_us) else "inf"

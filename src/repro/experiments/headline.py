@@ -15,7 +15,7 @@ makes), and reports the p* and TTS ratios.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

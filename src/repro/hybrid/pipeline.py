@@ -144,7 +144,9 @@ class HybridPipelineSimulator:
             raise PipelineError(f"num_reads must be positive, got {num_reads}")
         if batch_size is not None and batch_size <= 0:
             raise PipelineError(f"batch_size must be positive or None, got {batch_size}")
-        self.classical_solver = classical_solver if classical_solver is not None else GreedySearchSolver()
+        self.classical_solver = (
+            classical_solver if classical_solver is not None else GreedySearchSolver()
+        )
         self.sampler = sampler if sampler is not None else QuantumAnnealerSimulator()
         self.switch_s = float(switch_s)
         self.pause_duration_us = float(pause_duration_us)

@@ -117,7 +117,9 @@ class HybridQuboSolver:
             )
         if num_reads <= 0:
             raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
-        self.classical_solver = classical_solver if classical_solver is not None else GreedySearchSolver()
+        self.classical_solver = (
+            classical_solver if classical_solver is not None else GreedySearchSolver()
+        )
         self.sampler = sampler if sampler is not None else QuantumAnnealerSimulator()
         self.switch_s = float(switch_s)
         self.pause_duration_us = float(pause_duration_us)

@@ -45,7 +45,9 @@ def ising_energy(ising: IsingModel, spins: Sequence[int]) -> float:
     return ising.energy(spins)
 
 
-def enumerate_assignments(num_variables: int, block_bits: int = _BLOCK_BITS) -> Iterator[np.ndarray]:
+def enumerate_assignments(
+    num_variables: int, block_bits: int = _BLOCK_BITS
+) -> Iterator[np.ndarray]:
     """Yield all 0/1 assignments of ``num_variables`` variables in blocks.
 
     Each yielded array has shape (block, num_variables).  Enumeration order is
@@ -152,6 +154,10 @@ def energy_landscape(qubo: QUBOModel, max_variables: int = 20) -> Tuple[np.ndarr
         raise ConfigurationError(
             f"energy_landscape over {n} variables exceeds max_variables={max_variables}"
         )
-    assignments = np.concatenate(list(enumerate_assignments(n)), axis=0) if n else np.zeros((1, 0), dtype=np.int8)
+    assignments = (
+        np.concatenate(list(enumerate_assignments(n)), axis=0)
+        if n
+        else np.zeros((1, 0), dtype=np.int8)
+    )
     energies = qubo.energies(assignments)
     return assignments, energies

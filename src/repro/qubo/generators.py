@@ -9,7 +9,7 @@ construction (invaluable for verifying samplers without exhaustive search).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

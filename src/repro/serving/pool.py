@@ -33,7 +33,15 @@ class Worker:
     defaults (always active, available from t=0).
     """
 
-    __slots__ = ("backend", "index", "server", "batches", "batch_sizes", "active", "available_from_us")
+    __slots__ = (
+        "backend",
+        "index",
+        "server",
+        "batches",
+        "batch_sizes",
+        "active",
+        "available_from_us",
+    )
 
     def __init__(self, backend: ServingBackend, index: int) -> None:
         self.backend = backend

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.serving.scenarios import NetworkScenario
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.wireless.fading import ChannelImpairments
 from repro.wireless.mimo import MIMOConfig
 from repro.wireless.traffic import ChannelUse, TrafficGenerator
 
@@ -70,14 +71,26 @@ class UserProfile:
     job_mix: str = "cyclic"
     phase_offset_us: float = 0.0
 
-    def traffic_generator(self) -> TrafficGenerator:
-        """Build the traffic generator realising this profile."""
+    def traffic_generator(
+        self,
+        impairments: Optional[ChannelImpairments] = None,
+        interference_scale: Optional[Callable[[float], float]] = None,
+    ) -> TrafficGenerator:
+        """Build the traffic generator realising this profile.
+
+        ``impairments`` and ``interference_scale`` forward the channel
+        impairment engine into the user's stream (see
+        :class:`~repro.wireless.traffic.TrafficGenerator`); the serving
+        layer derives the scale from neighbouring cells' load.
+        """
         return TrafficGenerator(
             self.config,
             symbol_period_us=self.symbol_period_us,
             arrival_process=self.arrival_process,
             turnaround_budget_us=self.turnaround_budget_us,
             job_mix=self.job_mix,
+            impairments=impairments,
+            interference_scale=interference_scale,
         )
 
 
@@ -192,11 +205,39 @@ def uniform_cell_profiles(
     return profiles
 
 
+def _interference_scale_for(
+    profile: UserProfile,
+    scenario: Optional[NetworkScenario],
+    cell_load_factors: Optional[Tuple[float, ...]],
+) -> Optional[Callable[[float], float]]:
+    """The interference multiplier a user's stream sees from *other* cells.
+
+    Both branches apply the one coupling rule,
+    :meth:`~repro.wireless.fading.ChannelImpairments.neighbour_load_scale`:
+    under a scenario to the timeline's intensity field at each arrival
+    instant (a flash crowd next door degrades this cell's SINR while it
+    lasts), under static ``cell_load_factors`` to the constant factors.  A
+    single-cell layout has no interferers, so the scale is 0.
+    """
+    own_cell = profile.cell_id
+    if scenario is not None:
+        cells = range(scenario.num_cells)
+        return lambda t_us: ChannelImpairments.neighbour_load_scale(
+            own_cell, [scenario.intensity(cell, t_us) for cell in cells]
+        )
+    if cell_load_factors is not None:
+        constant = ChannelImpairments.neighbour_load_scale(own_cell, cell_load_factors)
+        return lambda t_us: constant
+    return None
+
+
 def generate_serving_jobs(
     profiles: Sequence[UserProfile],
     jobs_per_user: int,
     rng: RandomState = None,
     scenario: Optional[NetworkScenario] = None,
+    impairments: Optional[ChannelImpairments] = None,
+    cell_load_factors: Optional[Sequence[float]] = None,
 ) -> List[ServingJob]:
     """Draw every user's stream and merge into one arrival-ordered job list.
 
@@ -215,9 +256,45 @@ def generate_serving_jobs(
     per-user ceiling — the realised count varies with the scenario's demand
     — and the user's ``phase_offset_us`` staggers the start of its thinning
     clock without shifting the scenario timeline.
+
+    ``impairments`` routes every user's channel realisations through the
+    impairment engine (:mod:`repro.wireless.fading`).  Its nominal
+    ``interference_power`` is scaled per user by the load of the *other*
+    cells: time-varying under a scenario (the same intensity field that
+    drives arrivals also degrades SINR, so a flash crowd hurts its
+    neighbours' radio quality as well as the queue), constant under
+    ``cell_load_factors`` (pass the same factors given to
+    :func:`uniform_cell_profiles`).  ``cell_load_factors`` is only
+    meaningful with ``impairments`` and is mutually exclusive with
+    ``scenario`` (whose timeline already carries the per-cell load).
     """
     if not profiles:
         raise ConfigurationError("profiles must not be empty")
+    if cell_load_factors is not None:
+        if scenario is not None:
+            raise ConfigurationError(
+                "cell_load_factors and scenario are mutually exclusive; the "
+                "scenario timeline already defines per-cell load"
+            )
+        if impairments is None:
+            raise ConfigurationError(
+                "cell_load_factors only scales impairment interference; supply "
+                "impairments as well"
+            )
+        factors = tuple(float(factor) for factor in cell_load_factors)
+        for factor in factors:
+            if factor < 0:
+                raise ConfigurationError(
+                    f"cell_load_factors must be non-negative, got {factor}"
+                )
+        highest_cell = max(profile.cell_id for profile in profiles)
+        if highest_cell >= len(factors):
+            raise ConfigurationError(
+                f"user cell {highest_cell} outside the {len(factors)}-cell "
+                "cell_load_factors layout"
+            )
+    else:
+        factors = None
     if jobs_per_user <= 0:
         raise ConfigurationError(f"jobs_per_user must be positive, got {jobs_per_user}")
     seen_ids = set()
@@ -241,9 +318,17 @@ def generate_serving_jobs(
     children = spawn_rngs(root, len(profiles))
     tagged: List[Tuple[float, int, int, int, ChannelUse]] = []
     for profile, child in zip(profiles, children):
+        scale = (
+            _interference_scale_for(profile, scenario, factors)
+            if impairments is not None
+            else None
+        )
+        generator = profile.traffic_generator(
+            impairments=impairments, interference_scale=scale
+        )
         if scenario is not None:
             cell_id = profile.cell_id
-            stream = profile.traffic_generator().stream_modulated(
+            stream = generator.stream_modulated(
                 horizon_us=scenario.duration_us,
                 intensity=lambda t_us, cell=cell_id: scenario.intensity(cell, t_us),
                 peak_intensity=scenario.peak_intensity(),
@@ -256,7 +341,7 @@ def generate_serving_jobs(
                     (use.arrival_time_us, profile.user_id, use.index, profile.cell_id, use)
                 )
             continue
-        for use in profile.traffic_generator().stream(jobs_per_user, child):
+        for use in generator.stream(jobs_per_user, child):
             if profile.phase_offset_us:
                 use = dataclasses.replace(
                     use,

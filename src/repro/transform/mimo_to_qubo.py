@@ -87,10 +87,18 @@ class MIMOQuboEncoding:
         """Exact ground energy of the encoded QUBO, if analytically known.
 
         In the paper's noiseless protocol the transmitted vector *is* the ML
-        solution, so its QUBO energy is the ground energy; with noise the
-        ground energy is unknown and ``None`` is returned.
+        solution, so its QUBO energy is the ground energy.  With noise or
+        interference on the received vector, or with imperfect CSI (the QUBO
+        is built from a channel *estimate*, so even a noiseless received
+        vector does not lie in the estimate's column space), the ground
+        energy is unknown and ``None`` is returned — robustness studies must
+        establish it with an exhaustive QUBO solve instead.
         """
         if transmission.noise_variance != 0.0:
+            return None
+        if transmission.csi_error_variance != 0.0 or not transmission.has_perfect_csi:
+            return None
+        if transmission.interference_power != 0.0:
             return None
         bits = self.symbols_to_bits(transmission.transmitted_symbols)
         return float(self.qubo.energy(bits))
@@ -146,7 +154,9 @@ class MIMOQuboEncoding:
         """Exact ML objective ``||y - H x(q)||^2`` of a QUBO bitstring."""
         return self.qubo.energy(qubo_bits) + self.constant
 
-    def detection_result(self, qubo_bits: Sequence[int], algorithm: str = "qubo") -> MIMODetectionResult:
+    def detection_result(
+        self, qubo_bits: Sequence[int], algorithm: str = "qubo"
+    ) -> MIMODetectionResult:
         """Package a QUBO bitstring as a :class:`MIMODetectionResult`."""
         bits = self._validate_bits(qubo_bits)
         symbols = self.bits_to_symbols(bits)
@@ -169,7 +179,9 @@ class MIMOQuboEncoding:
         return bits
 
 
-def _amplitude_map(instance: MIMOInstance) -> Tuple[np.ndarray, np.ndarray, Tuple[SymbolBitMapping, ...]]:
+def _amplitude_map(
+    instance: MIMOInstance,
+) -> Tuple[np.ndarray, np.ndarray, Tuple[SymbolBitMapping, ...]]:
     """Build the linear map ``x = A q + b`` and the per-user bit layouts."""
     modulation = instance.modulation_scheme
     num_users = instance.num_users

@@ -46,11 +46,15 @@ def transform_bits_to_amplitude(bits: Sequence[int], scale: float = 1.0) -> floa
     if any(bit not in (0, 1) for bit in bits):
         raise TransformError("transform bits must be 0 or 1")
     width = len(bits)
-    amplitude = sum((1 << (width - 1 - position)) * (2 * bit - 1) for position, bit in enumerate(bits))
+    amplitude = sum(
+        (1 << (width - 1 - position)) * (2 * bit - 1) for position, bit in enumerate(bits)
+    )
     return float(amplitude) * scale
 
 
-def amplitude_to_transform_bits(amplitude: float, bits_per_dimension: int, scale: float = 1.0) -> Tuple[int, ...]:
+def amplitude_to_transform_bits(
+    amplitude: float, bits_per_dimension: int, scale: float = 1.0
+) -> Tuple[int, ...]:
     """Invert :func:`transform_bits_to_amplitude` for an exact grid amplitude."""
     if bits_per_dimension <= 0:
         raise TransformError("bits_per_dimension must be positive")

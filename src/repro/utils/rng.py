@@ -18,11 +18,18 @@ into batches.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RandomState", "BatchRandomState", "ensure_rng", "ensure_rng_batch", "spawn_rngs", "stable_seed"]
+__all__ = [
+    "RandomState",
+    "BatchRandomState",
+    "ensure_rng",
+    "ensure_rng_batch",
+    "spawn_rngs",
+    "stable_seed",
+]
 
 # Public alias used in type hints across the library.
 RandomState = Union[None, int, np.random.Generator]

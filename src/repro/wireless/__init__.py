@@ -7,6 +7,9 @@ evaluation depends on:
   constellations with bit/symbol mapping.
 * :mod:`repro.wireless.channel` — the paper's unit-gain random-phase channel,
   a Rayleigh fading channel, and AWGN.
+* :mod:`repro.wireless.fading` — the realistic-channel impairment engine:
+  Kronecker spatial correlation, Rician LoS, Jakes-Doppler block fading,
+  pilot-based imperfect CSI, and inter-cell interference.
 * :mod:`repro.wireless.mimo` — spatial-multiplexing MIMO link simulation and
   exact maximum-likelihood detection for ground truth.
 * :mod:`repro.wireless.metrics` — BER / SER / EVM link metrics.
@@ -28,6 +31,16 @@ from repro.wireless.channel import (
     IdentityChannel,
     awgn,
     noise_variance_for_snr,
+    effective_noise_variance,
+)
+from repro.wireless.fading import (
+    ChannelImpairments,
+    FadingChannel,
+    FadingProcess,
+    estimate_channel,
+    exponential_correlation,
+    jakes_correlation,
+    pilot_csi_error_variance,
 )
 from repro.wireless.mimo import (
     MIMOConfig,
@@ -52,6 +65,14 @@ __all__ = [
     "IdentityChannel",
     "awgn",
     "noise_variance_for_snr",
+    "effective_noise_variance",
+    "ChannelImpairments",
+    "FadingChannel",
+    "FadingProcess",
+    "estimate_channel",
+    "exponential_correlation",
+    "jakes_correlation",
+    "pilot_csi_error_variance",
     "MIMOConfig",
     "MIMOInstance",
     "MIMOTransmission",

@@ -11,7 +11,6 @@ sweep SNR.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 
@@ -26,6 +25,7 @@ __all__ = [
     "IdentityChannel",
     "awgn",
     "noise_variance_for_snr",
+    "effective_noise_variance",
     "apply_channel",
 ]
 
@@ -153,13 +153,34 @@ def awgn(
     return scale * (generator.standard_normal(shape) + 1j * generator.standard_normal(shape))
 
 
+def effective_noise_variance(
+    noise_variance: float, interference_power: float = 0.0
+) -> float:
+    """Total Gaussian disturbance variance per receive antenna.
+
+    Inter-cell interference is modelled as an additional circularly-symmetric
+    Gaussian term (the standard approximation of many superposed interfering
+    streams), so it simply adds to the thermal-noise variance.  Detectors
+    that regularise on the noise level (MMSE) should regularise on this
+    total.
+    """
+    if noise_variance < 0:
+        raise ValueError(f"noise_variance must be non-negative, got {noise_variance}")
+    if interference_power < 0:
+        raise ValueError(
+            f"interference_power must be non-negative, got {interference_power}"
+        )
+    return float(noise_variance + interference_power)
+
+
 def apply_channel(
     channel_matrix: np.ndarray,
     transmitted: np.ndarray,
     noise_variance: float = 0.0,
     rng: RandomState = None,
+    interference_power: float = 0.0,
 ) -> np.ndarray:
-    """Compute the received vector ``y = H x + n``.
+    """Compute the received vector ``y = H x + n (+ i)``.
 
     Parameters
     ----------
@@ -169,6 +190,10 @@ def apply_channel(
         Complex symbol vector of length ``transmit``.
     noise_variance:
         Total complex AWGN variance per receive antenna (0 disables noise).
+    interference_power:
+        Inter-cell interference power per receive antenna, folded into the
+        same Gaussian draw as the thermal noise (their sum is again
+        Gaussian), so zero interference leaves the random stream untouched.
     """
     channel_matrix = np.asarray(channel_matrix, dtype=complex)
     transmitted = np.asarray(transmitted, dtype=complex).ravel()
@@ -179,5 +204,6 @@ def apply_channel(
             f"channel has {channel_matrix.shape[1]} transmit antennas but "
             f"{transmitted.size} symbols were supplied"
         )
-    noise = awgn(channel_matrix.shape[0], noise_variance, rng)
+    total_variance = effective_noise_variance(noise_variance, interference_power)
+    noise = awgn(channel_matrix.shape[0], total_variance, rng)
     return channel_matrix @ transmitted + noise

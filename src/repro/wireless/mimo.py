@@ -32,6 +32,7 @@ from repro.wireless.channel import (
     apply_channel,
     noise_variance_for_snr,
 )
+from repro.wireless.fading import ChannelImpairments, FadingChannel, estimate_channel
 from repro.wireless.modulation import Modulation, get_modulation
 
 __all__ = [
@@ -173,12 +174,35 @@ class MIMOInstance:
 
 @dataclass(frozen=True)
 class MIMOTransmission:
-    """A simulated transmission: the instance plus the ground-truth payload."""
+    """A simulated transmission: the instance plus the ground-truth payload.
+
+    Under imperfect CSI the receiver-visible ``instance.channel_matrix`` is
+    the *pilot estimate*; ``true_channel`` then records the realisation the
+    symbols actually propagated through (``None`` means the estimate is
+    exact).  ``csi_error_variance`` and ``interference_power`` record the
+    impairment levels the transmission was simulated under, so metrics can
+    tell the paper's idealized protocol apart from robustness sweeps.
+    """
 
     instance: MIMOInstance
     transmitted_symbols: np.ndarray
     transmitted_bits: np.ndarray
     noise_variance: float
+    true_channel: Optional[np.ndarray] = None
+    csi_error_variance: float = 0.0
+    interference_power: float = 0.0
+
+    @property
+    def actual_channel(self) -> np.ndarray:
+        """The channel the symbols really traversed (estimate if CSI is perfect)."""
+        if self.true_channel is not None:
+            return self.true_channel
+        return self.instance.channel_matrix
+
+    @property
+    def has_perfect_csi(self) -> bool:
+        """Whether the receiver's channel matrix equals the true channel."""
+        return self.true_channel is None
 
     @property
     def config_summary(self) -> str:
@@ -222,31 +246,85 @@ def simulate_transmission(
     config: MIMOConfig,
     channel_model: Optional[ChannelModel] = None,
     rng: RandomState = None,
+    impairments: Optional[ChannelImpairments] = None,
+    channel_matrix: Optional[np.ndarray] = None,
 ) -> MIMOTransmission:
     """Simulate one channel use under ``config``.
 
     Draws a channel realisation, random payload bits, modulates them, applies
     the channel and (optionally) AWGN, and returns both the receiver-visible
     :class:`MIMOInstance` and the ground truth needed for error accounting.
+
+    ``impairments`` layers the realistic-channel engine on top
+    (:mod:`repro.wireless.fading`): spatial correlation / Rician LoS shape
+    the channel draw, interference adds to the noise floor, and with a
+    non-zero CSI error variance the returned instance carries the *pilot
+    estimate* while the received vector is produced by the *true* channel.
+    ``None`` (and the identity configuration) reproduce the unimpaired path
+    bitwise.  ``channel_matrix`` supplies a pre-drawn true channel — the way
+    a :class:`~repro.wireless.fading.FadingProcess` feeds temporally
+    correlated block fading through this function — skipping the draw.
+
+    The per-use draw order is fixed: channel (unless supplied), payload
+    bits, noise+interference, then the CSI estimation error, so disabled
+    impairments never consume randomness and never shift the other draws.
     """
     generator = ensure_rng(rng)
-    model = channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
     modulation = config.modulation_scheme
+    active = impairments is not None and not impairments.is_identity
 
-    channel = model.sample(config.receive_antennas, config.num_users, generator)
+    if channel_matrix is not None:
+        channel = np.asarray(channel_matrix, dtype=complex)
+        expected = (config.receive_antennas, config.num_users)
+        if channel.shape != expected:
+            raise DimensionError(
+                f"channel_matrix has shape {channel.shape}, expected {expected}"
+            )
+    else:
+        if active and impairments.has_spatial_structure:
+            model: ChannelModel = FadingChannel(impairments, base_model=channel_model)
+        elif channel_model is not None:
+            model = channel_model
+        elif active:
+            # Impairments without spatial structure still imply the fading
+            # engine's scattering statistics (Rayleigh), not the paper's
+            # unit-gain protocol channel.
+            model = FadingChannel(impairments)
+        else:
+            model = UnitGainRandomPhaseChannel()
+        channel = model.sample(config.receive_antennas, config.num_users, generator)
+
     bits = modulation.random_bits(config.num_users, generator)
     symbols = modulation.modulate_bits(bits)
     noise_variance = config.noise_variance
-    received = apply_channel(channel, symbols, noise_variance, generator)
+    interference_power = impairments.interference_power if active else 0.0
+    received = apply_channel(
+        channel,
+        symbols,
+        noise_variance,
+        generator,
+        interference_power=interference_power,
+    )
+
+    csi_error_variance = impairments.csi_error_variance if active else 0.0
+    if csi_error_variance > 0:
+        visible = estimate_channel(channel, csi_error_variance, generator)
+        true_channel: Optional[np.ndarray] = channel
+    else:
+        visible = channel
+        true_channel = None
 
     instance = MIMOInstance(
-        channel_matrix=channel, received=received, modulation=config.modulation
+        channel_matrix=visible, received=received, modulation=config.modulation
     )
     return MIMOTransmission(
         instance=instance,
         transmitted_symbols=symbols,
         transmitted_bits=bits,
         noise_variance=noise_variance,
+        true_channel=true_channel,
+        csi_error_variance=csi_error_variance,
+        interference_power=interference_power,
     )
 
 

@@ -23,14 +23,16 @@ detection workloads.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, ensure_rng
 from repro.wireless.channel import ChannelModel, UnitGainRandomPhaseChannel
+from repro.wireless.fading import ChannelImpairments, FadingProcess
 from repro.wireless.mimo import MIMOConfig, MIMOTransmission, simulate_transmission
 
 __all__ = ["ChannelUse", "TrafficGenerator"]
@@ -110,6 +112,19 @@ class TrafficGenerator:
         per channel use from the stream's generator.  Ignored for a single
         configuration, where no mix randomness is ever consumed — existing
         single-configuration streams are unchanged.
+    impairments:
+        Optional :class:`~repro.wireless.fading.ChannelImpairments`.  When
+        active (non-identity), every channel use's realisation comes from a
+        per-link-shape :class:`~repro.wireless.fading.FadingProcess` — so a
+        user's successive blocks are temporally correlated per the Jakes
+        model — and CSI error / interference apply per use.  ``None`` and
+        the identity configuration leave the stream bitwise-identical to
+        the unimpaired generator.
+    interference_scale:
+        Optional map from a channel use's arrival time (us) to a
+        non-negative multiplier on ``impairments.interference_power`` — the
+        hook the serving layer uses to couple interference to neighbouring
+        cells' time-varying load.  Requires ``impairments``.
     """
 
     def __init__(
@@ -120,6 +135,8 @@ class TrafficGenerator:
         turnaround_budget_us: Optional[float] = None,
         channel_model: Optional[ChannelModel] = None,
         job_mix: str = "cyclic",
+        impairments: Optional[ChannelImpairments] = None,
+        interference_scale: Optional[Callable[[float], float]] = None,
     ) -> None:
         if symbol_period_us <= 0:
             raise ConfigurationError(
@@ -151,13 +168,32 @@ class TrafficGenerator:
                         f"config sequence must contain MIMOConfig objects, got "
                         f"{type(item).__name__}"
                     )
+        if interference_scale is not None and impairments is None:
+            raise ConfigurationError(
+                "interference_scale modulates impairment interference; supply "
+                "impairments as well"
+            )
         self.configs = configs
         self.config = configs[0]
         self.symbol_period_us = float(symbol_period_us)
         self.arrival_process = arrival_process
         self.turnaround_budget_us = turnaround_budget_us
-        self.channel_model = channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
+        self.channel_model = (
+            channel_model if channel_model is not None else UnitGainRandomPhaseChannel()
+        )
         self.job_mix = job_mix
+        self.impairments = impairments
+        self.interference_scale = interference_scale
+        # Identity impairments leave the configured channel_model in charge
+        # (bitwise-unchanged streams); active impairments route channel
+        # realisations through per-shape fading processes whose scattering
+        # base is an *explicitly* supplied model, else the engine's Rayleigh
+        # default (the unit-gain protocol channel has no spatial/temporal
+        # structure to impair).
+        self._active_impairments = (
+            impairments if impairments is not None and not impairments.is_identity else None
+        )
+        self._fading_base = channel_model
 
     @property
     def is_heterogeneous(self) -> bool:
@@ -172,24 +208,37 @@ class TrafficGenerator:
         """Yield ``count`` channel uses lazily (useful for long simulations)."""
         if count < 0:
             raise ConfigurationError(f"count must be non-negative, got {count}")
+        # Each stream is its own coherence run: the fading-process map is
+        # local to this invocation, so re-streaming the same generator with
+        # the same seed is bitwise-identical and concurrent streams of one
+        # generator cannot corrupt each other's temporal state.
+        processes: Dict[Tuple[int, int], FadingProcess] = {}
         generator = ensure_rng(rng)
         arrival_time = 0.0
         for index in range(count):
             if index > 0:
                 arrival_time += self._inter_arrival(generator)
-            yield self._emit(index, arrival_time, generator)
+            yield self._emit(index, arrival_time, generator, processes)
 
     def _emit(
-        self, index: int, arrival_time_us: float, rng: np.random.Generator
+        self,
+        index: int,
+        arrival_time_us: float,
+        rng: np.random.Generator,
+        processes: Dict[Tuple[int, int], FadingProcess],
     ) -> ChannelUse:
         """Realise one channel use at a fixed arrival time.
 
         Shared by the homogeneous and modulated streams so both arrival
         processes derive configs, channel realisations and deadlines
         identically (and in the same per-use randomness order).
+        ``processes`` is the calling stream's private fading-state map.
         """
         config = self._config_for(index, rng)
-        transmission = simulate_transmission(config, self.channel_model, rng)
+        if self._active_impairments is None:
+            transmission = simulate_transmission(config, self.channel_model, rng)
+        else:
+            transmission = self._emit_impaired(config, arrival_time_us, rng, processes)
         deadline = (
             arrival_time_us + self.turnaround_budget_us
             if self.turnaround_budget_us is not None
@@ -200,6 +249,38 @@ class TrafficGenerator:
             arrival_time_us=arrival_time_us,
             transmission=transmission,
             deadline_us=deadline,
+        )
+
+    def _emit_impaired(
+        self,
+        config: MIMOConfig,
+        arrival_time_us: float,
+        rng: np.random.Generator,
+        processes: Dict[Tuple[int, int], FadingProcess],
+    ) -> MIMOTransmission:
+        """One channel use under active impairments (fading process + scaling)."""
+        impairments = self._active_impairments
+        shape = (config.receive_antennas, config.num_users)
+        process = processes.get(shape)
+        if process is None:
+            process = FadingProcess(
+                shape[0], shape[1], impairments, base_model=self._fading_base
+            )
+            processes[shape] = process
+        channel = process.advance(rng)
+        if self.interference_scale is not None:
+            scale = float(self.interference_scale(arrival_time_us))
+            if scale < 0:
+                raise ConfigurationError(
+                    f"interference_scale must be non-negative, got {scale} "
+                    f"at t={arrival_time_us}"
+                )
+            impairments = dataclasses.replace(
+                impairments,
+                interference_power=impairments.interference_power * scale,
+            )
+        return simulate_transmission(
+            config, rng=rng, impairments=impairments, channel_matrix=channel
         )
 
     def stream_modulated(
@@ -245,6 +326,8 @@ class TrafficGenerator:
             raise ConfigurationError(
                 f"max_count must be non-negative, got {max_count}"
             )
+        # Fresh coherence run per stream; see :meth:`stream`.
+        processes: Dict[Tuple[int, int], FadingProcess] = {}
         generator = ensure_rng(rng)
         mean_gap_us = self.symbol_period_us / peak_intensity
         arrival_time = start_us
@@ -268,7 +351,7 @@ class TrafficGenerator:
             # instant, and m=peak accepts every u in [0, 1).
             if float(generator.uniform()) * peak_intensity >= multiplier:
                 continue
-            yield self._emit(index, arrival_time, generator)
+            yield self._emit(index, arrival_time, generator, processes)
             index += 1
 
     def _config_for(self, index: int, rng: np.random.Generator) -> MIMOConfig:

@@ -8,7 +8,7 @@ from repro.classical.simulated_annealing import SimulatedAnnealingSolver
 from repro.classical.tabu import TabuSearchSolver
 from repro.exceptions import ConfigurationError
 from repro.qubo.energy import brute_force_minimum
-from repro.qubo.generators import planted_solution_qubo, random_qubo
+from repro.qubo.generators import random_qubo
 from repro.qubo.model import QUBOModel
 
 

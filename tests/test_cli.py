@@ -75,6 +75,22 @@ class TestMain:
         assert exit_code == 0
         assert "deadline-miss" in capsys.readouterr().out
 
+    def test_runs_robustness_quick(self, capsys):
+        exit_code = cli.main(["robustness", "--quick", "--no-cache"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "detection robustness under channel impairments" in captured.out
+        assert "spatial correlation rho" in captured.out
+
+    def test_robustness_workers_match_serial_output(self, capsys):
+        exit_code = cli.main(["robustness", "--quick", "--no-cache"])
+        serial = capsys.readouterr().out
+        assert exit_code == 0
+        exit_code = cli.main(["robustness", "--quick", "--no-cache", "--workers", "2"])
+        parallel = capsys.readouterr().out
+        assert exit_code == 0
+        assert parallel == serial
+
     def test_runs_scenarios_quick(self, capsys):
         exit_code = cli.main(["scenarios", "--quick"])
         captured = capsys.readouterr()

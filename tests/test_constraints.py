@@ -13,7 +13,6 @@ from repro.qubo.constraints import (
     single_bit_bias_constraint,
 )
 from repro.qubo.generators import random_qubo
-from repro.qubo.model import QUBOModel
 
 
 class TestSoftConstraintValidation:

@@ -8,7 +8,12 @@ from repro.classical.sphere_decoder import FixedComplexitySphereDecoder, KBestSp
 from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError, SolverError
 from repro.wireless.channel import IdentityChannel, RayleighFadingChannel
-from repro.wireless.mimo import MIMOConfig, MIMOInstance, maximum_likelihood_detect, simulate_transmission
+from repro.wireless.mimo import (
+    MIMOConfig,
+    MIMOInstance,
+    maximum_likelihood_detect,
+    simulate_transmission,
+)
 
 
 def _noiseless_transmission(users=3, modulation="16-QAM", seed=5, receive=None):
@@ -64,7 +69,9 @@ class TestMMSE:
 
     def test_noise_variance_override(self):
         transmission = _noiseless_transmission(users=2, modulation="QPSK")
-        detected = MMSEDetector(noise_variance=0.5).detect(transmission.instance, noise_variance=0.0)
+        detected = MMSEDetector(noise_variance=0.5).detect(
+            transmission.instance, noise_variance=0.0
+        )
         assert np.allclose(detected, transmission.transmitted_symbols)
 
     def test_negative_variance_rejected(self):
@@ -86,7 +93,9 @@ class TestKBest:
         transmission = _noiseless_transmission(users=2, modulation="16-QAM", seed=10)
         ml = maximum_likelihood_detect(transmission.instance)
         detected = KBestSphereDecoder(k_best=256).detect(transmission.instance)
-        assert transmission.instance.objective(detected) == pytest.approx(ml.objective_value, abs=1e-9)
+        assert transmission.instance.objective(detected) == pytest.approx(
+            ml.objective_value, abs=1e-9
+        )
 
     def test_moderate_width_finds_noiseless_solution(self):
         transmission = _noiseless_transmission(users=3, modulation="QPSK", seed=11)
@@ -97,7 +106,10 @@ class TestKBest:
         transmission = _noiseless_transmission(users=3, modulation="16-QAM", seed=12)
         narrow = KBestSphereDecoder(k_best=1).detect(transmission.instance)
         wide = KBestSphereDecoder(k_best=32).detect(transmission.instance)
-        assert transmission.instance.objective(wide) <= transmission.instance.objective(narrow) + 1e-9
+        assert (
+            transmission.instance.objective(wide)
+            <= transmission.instance.objective(narrow) + 1e-9
+        )
 
     def test_invalid_k(self):
         with pytest.raises(ConfigurationError):
@@ -117,12 +129,18 @@ class TestFCSD:
     def test_full_expansion_matches_ml(self):
         transmission = _noiseless_transmission(users=2, modulation="QPSK", seed=13)
         ml = maximum_likelihood_detect(transmission.instance)
-        detected = FixedComplexitySphereDecoder(full_expansion_levels=2).detect(transmission.instance)
-        assert transmission.instance.objective(detected) == pytest.approx(ml.objective_value, abs=1e-9)
+        detected = FixedComplexitySphereDecoder(full_expansion_levels=2).detect(
+            transmission.instance
+        )
+        assert transmission.instance.objective(detected) == pytest.approx(
+            ml.objective_value, abs=1e-9
+        )
 
     def test_sic_only_runs(self):
         transmission = _noiseless_transmission(users=3, modulation="16-QAM", seed=14)
-        detected = FixedComplexitySphereDecoder(full_expansion_levels=0).detect(transmission.instance)
+        detected = FixedComplexitySphereDecoder(full_expansion_levels=0).detect(
+            transmission.instance
+        )
         assert detected.size == 3
 
     def test_candidate_count(self):
@@ -136,6 +154,11 @@ class TestFCSD:
 
     def test_more_expansion_never_hurts(self):
         transmission = _noiseless_transmission(users=3, modulation="16-QAM", seed=16)
-        shallow = FixedComplexitySphereDecoder(full_expansion_levels=0).detect(transmission.instance)
+        shallow = FixedComplexitySphereDecoder(full_expansion_levels=0).detect(
+            transmission.instance
+        )
         deep = FixedComplexitySphereDecoder(full_expansion_levels=2).detect(transmission.instance)
-        assert transmission.instance.objective(deep) <= transmission.instance.objective(shallow) + 1e-9
+        assert (
+            transmission.instance.objective(deep)
+            <= transmission.instance.objective(shallow) + 1e-9
+        )

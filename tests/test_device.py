@@ -56,8 +56,10 @@ class TestDeviceModel:
         scale = device.normalisation_scale(ising)
         scaled_fields = ising.fields / scale
         scaled_couplings = ising.couplings / scale
-        assert np.max(np.abs(scaled_fields)) <= max(abs(device.h_range[0]), abs(device.h_range[1])) + 1e-9
-        assert np.max(np.abs(scaled_couplings)) <= max(abs(device.j_range[0]), abs(device.j_range[1])) + 1e-9
+        h_bound = max(abs(device.h_range[0]), abs(device.h_range[1]))
+        assert np.max(np.abs(scaled_fields)) <= h_bound + 1e-9
+        j_bound = max(abs(device.j_range[0]), abs(device.j_range[1]))
+        assert np.max(np.abs(scaled_couplings)) <= j_bound + 1e-9
 
     def test_normalisation_of_empty_model(self):
         from repro.qubo.ising import IsingModel
@@ -84,7 +86,9 @@ class TestDeviceModel:
         assert np.allclose(np.tril(noisy_couplings), 0.0)
 
     def test_qpu_access_time(self):
-        device = DeviceModel(programming_time_us=100.0, readout_time_us=10.0, inter_sample_delay_us=5.0)
+        device = DeviceModel(
+            programming_time_us=100.0, readout_time_us=10.0, inter_sample_delay_us=5.0
+        )
         schedule = forward_anneal_schedule(2.0)
         assert device.qpu_access_time_us(schedule, 10) == pytest.approx(100.0 + 10 * 17.0)
 

@@ -11,7 +11,7 @@ from repro.qubo.energy import (
     ising_energy,
     qubo_energy,
 )
-from repro.qubo.generators import planted_solution_qubo, random_qubo
+from repro.qubo.generators import random_qubo
 from repro.qubo.ising import qubo_to_ising, bits_to_spins
 from repro.qubo.model import QUBOModel
 

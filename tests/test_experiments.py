@@ -1,6 +1,5 @@
 """Tests for the experiment runners (quick configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.annealing import QuantumAnnealerSimulator, SpinVectorMonteCarloBackend

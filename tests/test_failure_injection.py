@@ -92,7 +92,8 @@ class TestPathologicalProblems:
     def test_local_searchers_on_single_deep_minimum(self):
         # A needle-in-a-haystack model: one strongly favoured assignment.
         qubo = QUBOModel(coefficients=np.diag([-100.0, 1e-3, 1e-3, 1e-3]))
-        for solver in (SimulatedAnnealingSolver(num_sweeps=50), TabuSearchSolver(max_iterations=50)):
+        solvers = (SimulatedAnnealingSolver(num_sweeps=50), TabuSearchSolver(max_iterations=50))
+        for solver in solvers:
             solution = solver.solve(qubo, rng=4)
             assert solution.assignment[0] == 1
 

@@ -8,7 +8,6 @@ from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError
 from repro.hybrid.solver import DetectorInitializer, HybridMIMODetector, HybridQuboSolver
 from repro.qubo.generators import planted_solution_qubo
-from repro.wireless.metrics import bit_error_rate
 
 
 @pytest.fixture
@@ -34,12 +33,15 @@ class TestHybridQuboSolver:
 
     def test_finds_planted_optimum(self, planted, fast_sampler):
         qubo, bits = planted
-        result = HybridQuboSolver(sampler=fast_sampler, switch_s=0.45, num_reads=60).solve(qubo, rng=3)
+        solver = HybridQuboSolver(sampler=fast_sampler, switch_s=0.45, num_reads=60)
+        result = solver.solve(qubo, rng=3)
         assert result.best_energy == pytest.approx(qubo.energy(bits))
 
     def test_quantum_time_accounting(self, planted, fast_sampler):
         qubo, _ = planted
-        solver = HybridQuboSolver(sampler=fast_sampler, switch_s=0.5, pause_duration_us=1.0, num_reads=10)
+        solver = HybridQuboSolver(
+            sampler=fast_sampler, switch_s=0.5, pause_duration_us=1.0, num_reads=10
+        )
         result = solver.solve(qubo, rng=4)
         expected_duration = 2 * (1 - 0.5) + 1.0
         assert result.quantum_time_us == pytest.approx(10 * expected_duration)
@@ -94,7 +96,13 @@ class TestHybridMIMODetector:
         assert result.algorithm == "hybrid-gs-ra"
         # The hybrid may or may not hit the exact optimum on every run, but it
         # must never do worse than the classical initial state.
-        assert result.objective_value <= details.initial_solution.energy + details.sampleset.metadata.get("constant", 0.0) + abs(details.initial_solution.energy) + 1e9  # sanity guard
+        bound = (
+            details.initial_solution.energy
+            + details.sampleset.metadata.get("constant", 0.0)
+            + abs(details.initial_solution.energy)
+            + 1e9
+        )
+        assert result.objective_value <= bound  # sanity guard
         assert details.best_energy <= details.initial_solution.energy + 1e-9
 
     def test_detect_returns_detection_result_only(self, mimo_encoding_16qam, fast_sampler):

@@ -46,7 +46,9 @@ class TestSynthesizeInstance:
     def test_ground_state_is_transmitted_payload(self):
         bundle = synthesize_instance(3, "QPSK", seed=5)
         assert bundle.ground_energy == pytest.approx(-bundle.encoding.constant)
-        assert bundle.encoding.qubo.energy(bundle.ground_state) == pytest.approx(bundle.ground_energy)
+        assert bundle.encoding.qubo.energy(bundle.ground_state) == pytest.approx(
+            bundle.ground_energy
+        )
 
     def test_exhaustive_verification_agrees(self):
         bundle = synthesize_instance(2, "16-QAM", seed=3, verify_exhaustively=True)

@@ -93,7 +93,9 @@ class TestDetectionChain:
     def test_noisy_link_detection_quality_improves_with_snr(self, sampler):
         errors = []
         for snr_db in (0.0, 25.0):
-            config = MIMOConfig(num_users=2, modulation="QPSK", num_receive_antennas=6, snr_db=snr_db)
+            config = MIMOConfig(
+                num_users=2, modulation="QPSK", num_receive_antennas=6, snr_db=snr_db
+            )
             rates = []
             for seed in range(4):
                 transmission = simulate_transmission(config, rng=seed)

@@ -24,7 +24,11 @@ from repro.qubo.model import QUBOModel
 def _sampleset(energies, counts=None, duration=2.0):
     counts = counts or [1] * len(energies)
     records = [
-        SampleRecord(assignment=np.array([index % 2], dtype=np.int8), energy=energy, num_occurrences=count)
+        SampleRecord(
+            assignment=np.array([index % 2], dtype=np.int8),
+            energy=energy,
+            num_occurrences=count,
+        )
         for index, (energy, count) in enumerate(zip(energies, counts))
     ]
     # Distinct assignments per record so they are not merged.

@@ -63,7 +63,8 @@ class TestMIMOInstance:
 
     def test_noiseless_transmitted_has_zero_objective(self, mimo_transmission_qpsk):
         instance = mimo_transmission_qpsk.instance
-        assert instance.objective(mimo_transmission_qpsk.transmitted_symbols) == pytest.approx(0.0, abs=1e-18)
+        objective = instance.objective(mimo_transmission_qpsk.transmitted_symbols)
+        assert objective == pytest.approx(0.0, abs=1e-18)
 
 
 class TestSimulateTransmission:

@@ -10,7 +10,9 @@ from repro.wireless.mimo import MIMOConfig, maximum_likelihood_detect, simulate_
 from repro.wireless.metrics import bit_error_rate
 
 
-@pytest.mark.parametrize("modulation,users", [("BPSK", 6), ("QPSK", 3), ("16-QAM", 2), ("64-QAM", 1)])
+@pytest.mark.parametrize(
+    "modulation,users", [("BPSK", 6), ("QPSK", 3), ("16-QAM", 2), ("64-QAM", 1)]
+)
 class TestExactEquivalence:
     def test_energy_plus_constant_equals_ml_objective(self, modulation, users):
         transmission = simulate_transmission(
@@ -40,7 +42,9 @@ class TestExactEquivalence:
         )
         encoding = mimo_to_qubo(transmission.instance)
         transmitted_bits = encoding.symbols_to_bits(transmission.transmitted_symbols)
-        assert encoding.qubo.energy(transmitted_bits) + encoding.constant == pytest.approx(0.0, abs=1e-9)
+        assert encoding.qubo.energy(transmitted_bits) + encoding.constant == pytest.approx(
+            0.0, abs=1e-9
+        )
 
 
 class TestEncodingStructure:

@@ -9,7 +9,6 @@ shard.
 
 import dataclasses
 
-import pytest
 
 from repro.experiments import (
     Figure6Config,

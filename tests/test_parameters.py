@@ -136,7 +136,12 @@ class TestFRTurningPointSweep:
     def test_turning_below_switch_skipped(self, problem, fast_sampler):
         qubo, ground = problem
         records = sweep_forward_reverse_turning_point(
-            qubo, ground, switch_s=0.6, turning_values=(0.3, 0.7), sampler=fast_sampler, num_reads=20
+            qubo,
+            ground,
+            switch_s=0.6,
+            turning_values=(0.3, 0.7),
+            sampler=fast_sampler,
+            num_reads=20,
         )
         assert len(records) == 1
 

@@ -1,6 +1,5 @@
 """Tests for repro.hybrid.pipeline (the Figure 2 pipeline simulator)."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import PipelineError
@@ -76,7 +75,9 @@ class TestPipelineSimulator:
         uses = TrafficGenerator(config, symbol_period_us=50.0, turnaround_budget_us=1.0).generate(
             3, rng=7
         )
-        simulator = HybridPipelineSimulator(sampler=fast_sampler, num_reads=20, evaluate_solutions=False)
+        simulator = HybridPipelineSimulator(
+            sampler=fast_sampler, num_reads=20, evaluate_solutions=False
+        )
         report = simulator.run(uses, pipelined=True, rng=3)
         assert report.deadline_miss_rate == pytest.approx(1.0)
 
@@ -90,7 +91,10 @@ class TestPipelineSimulator:
 
     def test_qpu_overheads_increase_quantum_time(self, fast_sampler, channel_uses):
         lean = HybridPipelineSimulator(
-            sampler=fast_sampler, num_reads=10, include_qpu_overheads=False, evaluate_solutions=False
+            sampler=fast_sampler,
+            num_reads=10,
+            include_qpu_overheads=False,
+            evaluate_solutions=False,
         ).run(channel_uses, rng=5)
         loaded = HybridPipelineSimulator(
             sampler=fast_sampler, num_reads=10, include_qpu_overheads=True, evaluate_solutions=False

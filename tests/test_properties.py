@@ -78,7 +78,9 @@ class TestQuboIsingProperties:
     def test_energy_delta_flip_consistency(self, matrix, data):
         qubo = QUBOModel(coefficients=matrix)
         n = qubo.num_variables
-        bits = np.array(data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.int8)
+        bits = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.int8
+        )
         index = data.draw(st.integers(min_value=0, max_value=n - 1))
         flipped = bits.copy()
         flipped[index] = 1 - flipped[index]

@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.qubo.generators import random_qubo
@@ -19,7 +18,9 @@ class TestDictRoundTrip:
 
     def test_round_trip_preserves_names_and_offset(self, small_qubo):
         model = small_qubo.relabel(["alpha", "beta"])
-        model = type(model)(coefficients=model.coefficients, offset=1.25, variable_names=model.variable_names)
+        model = type(model)(
+            coefficients=model.coefficients, offset=1.25, variable_names=model.variable_names
+        )
         restored = qubo_from_dict(qubo_to_dict(model))
         assert restored.variable_names == ("alpha", "beta")
         assert restored.offset == pytest.approx(1.25)

@@ -81,7 +81,9 @@ class TestSymbolBitMapping:
         assert mapping.quadrature_indices == (10, 11)
 
     def test_bpsk_has_no_quadrature(self):
-        mapping = SymbolBitMapping(modulation=get_modulation("BPSK"), user_index=0, first_variable=0)
+        mapping = SymbolBitMapping(
+            modulation=get_modulation("BPSK"), user_index=0, first_variable=0
+        )
         assert mapping.quadrature_indices == ()
         assert mapping.in_phase_indices == (0,)
 
@@ -107,11 +109,15 @@ class TestSymbolBitMapping:
             assert mapping.transform_bits_from_payload(payload) == tuple(bits)
 
     def test_bpsk_rejects_complex_symbol(self):
-        mapping = SymbolBitMapping(modulation=get_modulation("BPSK"), user_index=0, first_variable=0)
+        mapping = SymbolBitMapping(
+            modulation=get_modulation("BPSK"), user_index=0, first_variable=0
+        )
         with pytest.raises(TransformError):
             mapping.bits_from_symbol(0.5 + 0.5j)
 
     def test_wrong_payload_length(self):
-        mapping = SymbolBitMapping(modulation=get_modulation("QPSK"), user_index=0, first_variable=0)
+        mapping = SymbolBitMapping(
+            modulation=get_modulation("QPSK"), user_index=0, first_variable=0
+        )
         with pytest.raises(TransformError):
             mapping.transform_bits_from_payload([1])

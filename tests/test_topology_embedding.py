@@ -1,7 +1,6 @@
 """Tests for the Chimera topology and clique minor embedding."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.annealing.embedding import (
@@ -14,7 +13,6 @@ from repro.annealing.embedding import (
 from repro.annealing.topology import ChimeraCoordinates, chimera_graph
 from repro.exceptions import ConfigurationError, EmbeddingError
 from repro.qubo.generators import random_ising
-from repro.qubo.ising import IsingModel
 
 
 class TestChimeraCoordinates:
