@@ -1,0 +1,115 @@
+"""Optional numba-JIT inner loops for the anneal sweep kernels.
+
+This module is the only place the library touches :mod:`numba`, and it is
+always safe to import: when numba is not installed ``HAVE_NUMBA`` is false and
+the module defines nothing else.  :mod:`repro.annealing.kernels` consults
+``HAVE_NUMBA`` before dispatching and silently falls back to the pure-numpy
+vectorized kernel (with a one-time warning) when the JIT path is unavailable,
+so no part of the test suite or CI ever *requires* numba.
+
+Bitwise contract
+----------------
+The JIT functions fuse only the per-chunk *decision* loops: exact IEEE-754
+float64 multiplies, subtractions, comparisons and selections.  Everything
+whose result could depend on the evaluation backend stays in numpy, shared
+with the other kernels:
+
+* transcendentals (``log`` of the uniforms, ``cos``/``sin`` of proposal
+  angles) — numpy's SIMD loops and numba's libm are not bitwise-identical,
+  so those blocks are precomputed in numpy and passed in;
+* random draws — generated per instance by numpy ``Generator`` children;
+* the local-field contraction — a shared BLAS ``matmul`` in
+  :func:`repro.annealing.kernels.commit_chunk`.
+
+Under that split the numba kernel produces bit-for-bit the same spins as the
+reference and vectorized kernels; ``tests/test_kernels.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+try:
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - exercised only where numba is absent
+    HAVE_NUMBA = False
+
+if HAVE_NUMBA:
+
+    @njit(cache=True)
+    def sa_chunk_changes(  # pragma: no cover - measured via equivalence tests
+        spins, local, thresholds, mask, p0, p1, use_threshold, log_activity, change
+    ):
+        """Fused accept/flip decisions for one SA chunk.
+
+        Writes the signed flip values into ``change`` (rows ``p0..p1`` of the
+        sweep) exactly as the vectorized kernel computes them, including the
+        signed zeros of rejected proposals, so the downstream shared
+        ``commit_chunk`` contraction receives identical inputs.
+        """
+        batch = spins.shape[0]
+        reads = spins.shape[2]
+        for b in range(batch):
+            for p in range(p0, p1):
+                row = p - p0
+                if mask[b, p]:
+                    for r in range(reads):
+                        cur = spins[b, p, r]
+                        if use_threshold:
+                            prod = cur * local[b, p, r]
+                            clipped = prod if prod < 0.0 else 0.0
+                            ok = clipped > thresholds[b, p, r]
+                        else:
+                            ok = thresholds[b, p, r] < log_activity
+                        change[b, row, r] = (-2.0 if ok else -0.0) * cur
+                else:
+                    for r in range(reads):
+                        change[b, row, r] = -0.0 * spins[b, p, r]
+
+    @njit(cache=True)
+    def svmc_chunk_updates(  # pragma: no cover - measured via equivalence tests
+        theta,
+        cos_t,
+        sin_t,
+        local,
+        thresholds,
+        mask,
+        proposed,
+        cos_p,
+        sin_p,
+        problem,
+        transverse,
+        p0,
+        p1,
+        change,
+    ):
+        """Fused accept/update decisions for one SVMC chunk.
+
+        ``proposed``/``cos_p``/``sin_p`` are the numpy-computed proposal
+        blocks; this loop evaluates the rotor energy change, the Metropolis
+        decision against the precomputed log-threshold, and blends the
+        accepted updates into the state arrays with the same exact
+        ``state += keep * delta`` arithmetic as the vectorized kernel,
+        writing the ``cos`` deltas into ``change`` for the shared coupling
+        contraction.
+        """
+        batch = theta.shape[0]
+        reads = theta.shape[2]
+        for b in range(batch):
+            for p in range(p0, p1):
+                row = p - p0
+                for r in range(reads):
+                    diff = cos_p[b, row, r] - cos_t[b, p, r]
+                    sdiff = sin_p[b, row, r] - sin_t[b, p, r]
+                    ok = False
+                    if mask[b, p]:
+                        delta = diff * local[b, p, r] * problem
+                        delta = delta - sdiff * transverse
+                        uphill = delta if delta > 0.0 else 0.0
+                        ok = uphill < thresholds[b, p, r]
+                    keep = 1.0 if ok else 0.0
+                    flip = keep * diff
+                    change[b, row, r] = flip
+                    cos_t[b, p, r] += flip
+                    sin_t[b, p, r] += sdiff * keep
+                    theta[b, p, r] += (proposed[b, row, r] - theta[b, p, r]) * keep

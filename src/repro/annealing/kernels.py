@@ -1,0 +1,958 @@
+"""Replica-parallel sweep kernels shared by the anneal backends and solvers.
+
+This module is the numerical core of the library: the Metropolis sweep loops
+of :class:`~repro.annealing.sa_backend.ScheduleDrivenAnnealingBackend`,
+:class:`~repro.annealing.svmc.SpinVectorMonteCarloBackend` and the classical
+:class:`~repro.classical.simulated_annealing.SimulatedAnnealingSolver` all
+execute here.  Each family (SA spin flips, SVMC rotor updates) is implemented
+several times over the *same* dynamics specification:
+
+``vectorized`` (default)
+    One array program over ``(batch, spins, reads)`` per sweep — every read
+    of every instance advances in a single sequence of numpy operations.
+``reference``
+    Per-read python loops spelling out the decision logic one scalar at a
+    time.  Slow, but the executable specification: ``tests/test_kernels.py``
+    asserts the other implementations match it bit for bit.
+``numba``
+    The vectorized data flow with the per-chunk decision loops fused by a
+    numba JIT (see :mod:`repro.annealing._kernels_numba`).  Optional: when
+    numba is not importable the library falls back to ``vectorized`` with a
+    one-time warning, so nothing ever requires it.
+``legacy``
+    The pre-kernel-rewrite sequential dynamics (one python iteration per spin
+    position per sweep), preserved verbatim as the benchmark baseline for the
+    vectorized kernels and as an escape hatch for reproducing historical
+    bitstreams.
+
+Select an implementation with the ``REPRO_KERNEL`` environment variable
+(``vectorized`` | ``reference`` | ``numba`` | ``legacy``); see
+``docs/kernels.md``.
+
+Chunked replica-parallel dynamics
+---------------------------------
+The replica-parallel kernels sweep the spins in fixed index order in chunks
+of ``spins_per_step`` positions.  Within a chunk all proposals are evaluated
+against the *same* stale local fields and committed simultaneously; after a
+chunk the local fields of every spin are refreshed with one rank-``C`` BLAS
+contraction.  Fixed order and fixed chunk boundaries make the dynamics
+independent of batch composition, and simultaneous within-chunk updates are
+what turn the per-position python loop into one array program.  (dwave-neal's
+compiled SA sweeps use the same fixed-order structure.)
+
+The Metropolis accept tests are evaluated in log space: each spin draws one
+uniform ``u`` per sweep and accepts iff ``dE+ < -T*log(u/activity)`` where
+``dE+ = max(dE, 0)`` — probabilistically identical to the legacy pair of
+``exp`` gates (accept with probability ``activity * min(1, exp(-dE/T))``)
+but computable as a single per-sweep ``log`` block instead of a per-chunk
+``exp``.  The freeze-out ``activity`` gate therefore costs no extra draw.
+
+Bitwise-equivalence design rules
+--------------------------------
+The implementations of one family agree bit for bit because they follow
+three rules, which any future kernel must preserve:
+
+* **Exact arithmetic may differ in shape.**  IEEE-754 ``+ - * /``,
+  comparisons, and min/max are exact per element, so the reference kernel
+  may compute them on python scalars while the vectorized kernel uses whole
+  arrays.
+* **Transcendentals are evaluated on identical blocks.**  numpy's
+  ``log``/``exp``/``cos``/``sin`` pick different code paths for scalars and
+  arrays (and numba's libm differs again), so every transcendental is
+  computed on a per-instance block of the same values in every
+  implementation — never on a 0-d scalar, never inside a JIT loop.
+* **Reductions go through shared helpers.**  BLAS contractions are not
+  bitwise shape-stable (a ``(R,C)@(C,N)`` gemm differs from row-by-row
+  gemv), so the local-field refresh and the energy bookkeeping run through
+  :func:`commit_chunk` / :func:`apply_couplings` with identically-shaped
+  inputs in every implementation.
+
+Random-draw discipline
+----------------------
+Instance ``b`` of a batch draws exclusively from child generator ``b``:
+per sweep the replica-parallel SA kernel consumes one ``(n, reads)`` uniform
+block, and the SVMC kernel one normal block plus two uniform blocks, in that
+order.  Draw consumption therefore depends only on the instance's own size,
+sweep count and read count — never on batch composition or chunking — which
+is what keeps experiment results invariant to batching and worker counts.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "KERNEL_CHOICES",
+    "DEFAULT_SPINS_PER_STEP",
+    "SweepSettings",
+    "numba_available",
+    "requested_kernel_name",
+    "active_kernel_name",
+    "initial_local_fields",
+    "apply_couplings",
+    "commit_chunk",
+    "sa_sweeps",
+    "sa_sweeps_vectorized",
+    "sa_sweeps_reference",
+    "sa_sweeps_numba",
+    "sa_sweeps_legacy",
+    "svmc_sweeps",
+    "svmc_sweeps_vectorized",
+    "svmc_sweeps_reference",
+    "svmc_sweeps_numba",
+    "svmc_sweeps_legacy",
+]
+
+#: Environment variable selecting the sweep-kernel implementation.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Recognised values of :data:`KERNEL_ENV_VAR`.
+KERNEL_CHOICES = ("vectorized", "reference", "numba", "legacy")
+
+#: Spins updated simultaneously per chunk of a sweep.  A constant (rather
+#: than e.g. a fraction of the problem size) so chunk boundaries — and with
+#: them the dynamics — depend only on the problem size itself.
+DEFAULT_SPINS_PER_STEP = 64
+
+#: Per-sweep schedule row: ``(problem, transverse, temperature, activity)``.
+#: ``temperature`` may be a ``(batch,)`` array for per-instance schedules
+#: (the classical SA solver); the other entries are scalars.
+SweepSettings = Sequence[Tuple[float, float, Union[float, np.ndarray], float]]
+
+_numba_fallback_warned = False
+
+
+def numba_available() -> bool:
+    """True when the optional numba JIT path can be used."""
+    from repro.annealing import _kernels_numba
+
+    return _kernels_numba.HAVE_NUMBA
+
+
+def requested_kernel_name() -> str:
+    """The kernel named by ``REPRO_KERNEL``, before availability fallback."""
+    raw = os.environ.get(KERNEL_ENV_VAR, "").strip().lower()
+    if not raw:
+        return "vectorized"
+    if raw not in KERNEL_CHOICES:
+        raise ConfigurationError(
+            f"{KERNEL_ENV_VAR}={raw!r} is not a known kernel; "
+            f"choose one of {', '.join(KERNEL_CHOICES)}"
+        )
+    return raw
+
+
+def active_kernel_name() -> str:
+    """The kernel implementation that will actually run.
+
+    Resolves ``REPRO_KERNEL`` and applies the numba fallback: when the JIT
+    path is requested but numba is not importable, the vectorized kernel is
+    used instead and a warning is emitted once per process.
+    """
+    name = requested_kernel_name()
+    if name == "numba" and not numba_available():
+        global _numba_fallback_warned
+        if not _numba_fallback_warned:
+            warnings.warn(
+                f"{KERNEL_ENV_VAR}=numba requested but numba is not importable; "
+                "falling back to the pure-numpy vectorized kernel",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _numba_fallback_warned = True
+        return "vectorized"
+    return name
+
+
+# --------------------------------------------------------------------- #
+# Shared numerics (identical call shapes in every implementation)
+# --------------------------------------------------------------------- #
+
+
+def initial_local_fields(
+    padded_fields: np.ndarray, symmetric: np.ndarray, state: np.ndarray
+) -> np.ndarray:
+    """``local[b, i, r] = h_i + sum_j Jsym_ij * state[b, j, r]``.
+
+    One batched gemm shared by every replica-parallel implementation so the
+    starting local fields are bitwise-identical across kernels.
+    """
+    return padded_fields[:, :, None] + np.matmul(symmetric, state)
+
+
+def apply_couplings(
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    change: np.ndarray,
+    p0: int,
+    p1: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Refresh all local fields after a chunk's simultaneous state changes.
+
+    ``change`` holds the state deltas of chunk positions ``p0..p1``; the
+    rank-``C`` contraction ``Jsym[:, :, p0:p1] @ change`` is the single BLAS
+    call every implementation shares (a reduction's float result depends on
+    its shape, so the shapes must be identical everywhere).
+    """
+    np.matmul(symmetric[:, :, p0:p1], change, out=out)
+    local += out
+    return out
+
+
+def commit_chunk(
+    spins: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    change: np.ndarray,
+    p0: int,
+    p1: int,
+    coupled: np.ndarray,
+    energies: Optional[np.ndarray] = None,
+) -> None:
+    """Apply a chunk's simultaneous spin flips and refresh the local fields.
+
+    With ``energies`` supplied, also advances the per-read Ising energies
+    exactly for simultaneous flips:
+    ``dE = sum_i change_i * local_i(stale) + 1/2 * change^T Jsym change``
+    (the second term corrects for pairs flipped in the same chunk).  The
+    einsum/gemm reduction order is part of the kernel contract — reference
+    and vectorized kernels call this helper with identical arrays.
+    """
+    if energies is not None:
+        gain = np.einsum("bcr,bcr->br", change, local[:, p0:p1])
+    spins[:, p0:p1] += change
+    apply_couplings(local, symmetric, change, p0, p1, coupled)
+    if energies is not None:
+        gain += 0.5 * np.einsum("bcr,bcr->br", change, coupled[:, p0:p1])
+        energies += gain
+
+
+def _track_best(
+    spins: np.ndarray,
+    energies: np.ndarray,
+    best_spins: np.ndarray,
+    best_energies: np.ndarray,
+) -> None:
+    """Fold the current states into the running per-read minima (exact copies)."""
+    improved = energies < best_energies
+    if improved.any():
+        np.copyto(best_energies, energies, where=improved)
+        np.copyto(best_spins, spins, where=improved[:, None, :])
+
+
+def _sa_threshold_coefficients(problem, temperature, log_activity):
+    """Coefficients of the SA log-space accept threshold.
+
+    Accepting iff ``dE+ < -T*log(u/activity)`` with ``dE = -2*p*s_i*L_i``
+    rearranges (for ``p > 0``) to ``min(s_i*L_i, 0) > c1*log(u) + c0``.
+    ``temperature`` may be a per-instance array; the arithmetic sequence here
+    must match the reference kernel's scalar evaluation exactly.
+    """
+    denominator = 2.0 * problem
+    c1 = temperature / denominator
+    c0 = -(temperature * log_activity) / denominator
+    return c1, c0
+
+
+def _sa_fill_thresholds(children, sizes, num_reads, out, problem, temperature, log_activity):
+    """Draw each instance's sweep uniforms and scale them into thresholds.
+
+    Writes ``c1*log(u) + c0`` into the real rows of ``out`` (for
+    ``problem > 0``) or the raw ``log(u)`` (for ``problem == 0``, where the
+    accept rule degenerates to the bare activity gate ``log u < log a``).
+    Padding rows are left at their initial zeros, which can never accept.
+    """
+    temperature = np.asarray(temperature, dtype=float)
+    for index, child in enumerate(children):
+        size = int(sizes[index])
+        if size == 0:
+            continue
+        block = out[index, :size]
+        child.random(out=block)
+        with np.errstate(divide="ignore"):
+            # u == 0.0 (possible, if vanishingly rare) maps to a -inf
+            # threshold, i.e. certain acceptance — exactly the legacy
+            # semantics of u < exp(...).
+            np.log(block, out=block)
+        if problem > 0.0:
+            instance_temperature = (
+                float(temperature) if temperature.ndim == 0 else float(temperature[index])
+            )
+            c1, c0 = _sa_threshold_coefficients(problem, instance_temperature, log_activity)
+            np.multiply(block, c1, out=block)
+            block += c0
+
+
+def _svmc_fill_blocks(
+    children, sizes, num_reads, proposal_width, normals, mixes, thresholds,
+    temperature, log_activity,
+):
+    """Draw each instance's SVMC sweep blocks: normals, mix uniforms, thresholds.
+
+    The third uniform block becomes the log-space accept threshold
+    ``-T*log(u) + T*log(activity)`` (accept iff ``dE+ < threshold``).
+    Padding rows stay at zero, which can never accept (``dE+ >= 0 >= T*log a``).
+    """
+    offset = temperature * log_activity
+    for index, child in enumerate(children):
+        size = int(sizes[index])
+        if size == 0:
+            continue
+        normals[index, :size] = child.normal(0.0, proposal_width, size=(size, num_reads))
+        child.random(out=mixes[index, :size])
+        block = thresholds[index, :size]
+        child.random(out=block)
+        with np.errstate(divide="ignore"):
+            # u == 0.0 becomes a +inf threshold after negation: certain
+            # acceptance, matching the legacy u < exp(...) semantics.
+            np.log(block, out=block)
+        np.multiply(block, -temperature, out=block)
+        block += offset
+
+
+# --------------------------------------------------------------------- #
+# SA (spin-flip Metropolis) replica-parallel kernels
+# --------------------------------------------------------------------- #
+
+
+def sa_sweeps_vectorized(
+    spins: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    spins_per_step: int = DEFAULT_SPINS_PER_STEP,
+    energies: Optional[np.ndarray] = None,
+    best_spins: Optional[np.ndarray] = None,
+    best_energies: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Replica-parallel SA sweeps as one array program per chunk.
+
+    ``spins``/``local`` are ``(batch, max_size, reads)`` float64 arrays
+    updated in place (padding lanes at +1 / 0).  ``settings`` holds one
+    ``(problem, transverse, temperature, activity)`` row per sweep.  With
+    ``energies``/``best_spins``/``best_energies`` supplied, per-read Ising
+    energies are tracked exactly and running minima maintained (the classical
+    SA solver's best-seen-state contract).
+    """
+    batch, max_size, reads = spins.shape
+    track = best_energies is not None
+    all_active = bool(mask.all())
+    chunk_cap = min(spins_per_step, max_size)
+    thresholds = np.zeros((batch, max_size, reads))
+    change = np.empty((batch, chunk_cap, reads))
+    accept = np.empty((batch, chunk_cap, reads), dtype=bool)
+    coupled = np.empty((batch, max_size, reads))
+    for problem, _transverse, temperature, activity in settings:
+        log_activity = np.log(activity)
+        _sa_fill_thresholds(
+            children, sizes, reads, thresholds, problem, temperature, log_activity
+        )
+        for p0 in range(0, max_size, spins_per_step):
+            p1 = min(p0 + spins_per_step, max_size)
+            width = p1 - p0
+            current = spins[:, p0:p1]
+            flips = change[:, :width]
+            decided = accept[:, :width]
+            if problem > 0.0:
+                np.multiply(current, local[:, p0:p1], out=flips)
+                np.minimum(flips, 0.0, out=flips)
+                np.greater(flips, thresholds[:, p0:p1], out=decided)
+            else:
+                np.less(thresholds[:, p0:p1], log_activity, out=decided)
+            if not all_active:
+                decided &= mask[:, p0:p1, None]
+            np.multiply(decided, -2.0, out=flips)
+            flips *= current
+            commit_chunk(spins, local, symmetric, flips, p0, p1, coupled, energies)
+            if track:
+                _track_best(spins, energies, best_spins, best_energies)
+    return spins
+
+
+def sa_sweeps_reference(
+    spins: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    spins_per_step: int = DEFAULT_SPINS_PER_STEP,
+    energies: Optional[np.ndarray] = None,
+    best_spins: Optional[np.ndarray] = None,
+    best_energies: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The SA dynamics spelled out with per-read scalar loops.
+
+    The executable specification the fast kernels are tested against: every
+    accept decision and flip value is computed one read at a time with exact
+    scalar arithmetic, while draws, thresholds and the chunk commit go
+    through the same shared helpers (see the module docstring's equivalence
+    rules).  Intended for tests only — O(batch * spins * reads) python work.
+    """
+    batch, max_size, reads = spins.shape
+    track = best_energies is not None
+    chunk_cap = min(spins_per_step, max_size)
+    thresholds = np.zeros((batch, max_size, reads))
+    change = np.empty((batch, chunk_cap, reads))
+    coupled = np.empty((batch, max_size, reads))
+    for problem, _transverse, temperature, activity in settings:
+        log_activity = np.log(activity)
+        _sa_fill_thresholds(
+            children, sizes, reads, thresholds, problem, temperature, log_activity
+        )
+        for p0 in range(0, max_size, spins_per_step):
+            p1 = min(p0 + spins_per_step, max_size)
+            flips = change[:, : p1 - p0]
+            for b in range(batch):
+                size = int(sizes[b])
+                for p in range(p0, p1):
+                    row = p - p0
+                    for r in range(reads):
+                        cur = spins[b, p, r]
+                        if p >= size:
+                            ok = False
+                        elif problem > 0.0:
+                            prod = cur * local[b, p, r]
+                            clipped = prod if prod < 0.0 else 0.0
+                            ok = clipped > thresholds[b, p, r]
+                        else:
+                            ok = thresholds[b, p, r] < log_activity
+                        flips[b, row, r] = (-2.0 if ok else -0.0) * cur
+            commit_chunk(spins, local, symmetric, flips, p0, p1, coupled, energies)
+            if track:
+                _track_best(spins, energies, best_spins, best_energies)
+    return spins
+
+
+def sa_sweeps_numba(
+    spins: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    spins_per_step: int = DEFAULT_SPINS_PER_STEP,
+    energies: Optional[np.ndarray] = None,
+    best_spins: Optional[np.ndarray] = None,
+    best_energies: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The vectorized SA data flow with JIT-fused chunk decision loops."""
+    from repro.annealing import _kernels_numba
+
+    if not _kernels_numba.HAVE_NUMBA:  # pragma: no cover - guarded by dispatch
+        raise ConfigurationError("numba kernel requested but numba is not importable")
+    batch, max_size, reads = spins.shape
+    track = best_energies is not None
+    chunk_cap = min(spins_per_step, max_size)
+    thresholds = np.zeros((batch, max_size, reads))
+    change = np.empty((batch, chunk_cap, reads))
+    coupled = np.empty((batch, max_size, reads))
+    for problem, _transverse, temperature, activity in settings:
+        log_activity = np.log(activity)
+        _sa_fill_thresholds(
+            children, sizes, reads, thresholds, problem, temperature, log_activity
+        )
+        for p0 in range(0, max_size, spins_per_step):
+            p1 = min(p0 + spins_per_step, max_size)
+            flips = change[:, : p1 - p0]
+            _kernels_numba.sa_chunk_changes(
+                spins,
+                local,
+                thresholds,
+                mask,
+                p0,
+                p1,
+                problem > 0.0,
+                float(log_activity),
+                flips,
+            )
+            commit_chunk(spins, local, symmetric, flips, p0, p1, coupled, energies)
+            if track:
+                _track_best(spins, energies, best_spins, best_energies)
+    return spins
+
+
+_SA_IMPLEMENTATIONS = {
+    "vectorized": sa_sweeps_vectorized,
+    "reference": sa_sweeps_reference,
+    "numba": sa_sweeps_numba,
+}
+
+
+def sa_sweeps(*args, implementation: str = "vectorized", **kwargs) -> np.ndarray:
+    """Dispatch SA sweeps to a replica-parallel implementation by name."""
+    try:
+        kernel = _SA_IMPLEMENTATIONS[implementation]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replica-parallel SA kernel {implementation!r}; "
+            f"choose one of {', '.join(_SA_IMPLEMENTATIONS)}"
+        ) from None
+    return kernel(*args, **kwargs)
+
+
+def sa_sweeps_legacy(
+    spins: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+) -> np.ndarray:
+    """The pre-rewrite sequential SA dynamics (one python step per position).
+
+    Operates on the historical ``(batch, reads, max_size)`` layout with
+    per-sweep random visit orders and per-position ``exp`` accept gates.
+    Preserved bit-for-bit as the benchmark baseline and for reproducing
+    pre-rewrite bitstreams via ``REPRO_KERNEL=legacy``.
+    """
+    batch, num_reads, max_size = spins.shape
+    lanes = np.arange(batch)
+    for problem, _transverse, temperature, activity in settings:
+        temperature = float(np.asarray(temperature).reshape(-1)[0]) if not np.isscalar(
+            temperature
+        ) else float(temperature)
+        draws_per_spin = 2 if activity < 1.0 else 1
+
+        orders = np.zeros((batch, max_size), dtype=int)
+        draws = np.zeros((batch, max_size, draws_per_spin, num_reads))
+        for index in range(batch):
+            size = int(sizes[index])
+            if size == 0:
+                continue
+            orders[index, :size] = children[index].permutation(size)
+            draws[index, :size] = children[index].random((size, draws_per_spin, num_reads))
+
+        for position in range(max_size):
+            active = mask[:, position]
+            if not np.any(active):
+                break
+            index = orders[:, position]
+            current = spins[lanes, :, index]
+            delta_energy = -2.0 * current * local[lanes, :, index] * problem
+            accept = (delta_energy <= 0.0) | (
+                draws[:, position, 0]
+                < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
+            )
+            if activity < 1.0:
+                accept &= draws[:, position, 1] < activity
+            accept &= active[:, None]
+            touched = np.nonzero(np.any(accept, axis=1))[0]
+            if touched.size == 0:
+                continue
+            flipped = np.where(accept, -current, current)
+            change = flipped - current
+            spins[lanes, :, index] = flipped
+            rows = symmetric[touched, index[touched], :]
+            local[touched] += change[touched][:, :, None] * rows[:, None, :]
+    return spins
+
+
+# --------------------------------------------------------------------- #
+# SVMC (rotor-angle Metropolis) replica-parallel kernels
+# --------------------------------------------------------------------- #
+
+
+def _svmc_propose_block(theta_chunk, normals_chunk, mixes_chunk, uniform_fraction, out):
+    """Assemble a chunk's proposal angles into ``out`` (elementwise, exact).
+
+    Gaussian step clipped to ``[0, pi]``; with probability
+    ``uniform_fraction`` the mix uniform itself is rescaled into a fresh
+    ``U[0, pi)`` angle (conditioned on ``u < f``, ``u/f`` is again uniform,
+    so the gate and the angle can share one draw).
+    """
+    np.add(theta_chunk, normals_chunk, out=out)
+    np.clip(out, 0.0, np.pi, out=out)
+    if uniform_fraction > 0.0:
+        redraw = mixes_chunk < uniform_fraction
+        np.copyto(out, mixes_chunk * (np.pi / uniform_fraction), where=redraw)
+    return out
+
+
+def _svmc_cos_sin_block(angles, cos_out, sin_out):
+    """Cosines and sines of a proposal block.
+
+    ``sin = sqrt(1 - cos^2)`` — valid because rotor angles live in
+    ``[0, pi]`` — replaces the second transcendental with an exact
+    (correctly-rounded, therefore bitwise shape-independent) square root.
+    Every implementation shares this helper so the one genuine
+    transcendental, ``cos``, is always evaluated on an identical block.
+    """
+    np.cos(angles, out=cos_out)
+    np.multiply(cos_out, cos_out, out=sin_out)
+    np.subtract(1.0, sin_out, out=sin_out)
+    np.sqrt(sin_out, out=sin_out)
+    return cos_out, sin_out
+
+
+def svmc_sweeps_vectorized(
+    theta: np.ndarray,
+    cosines: np.ndarray,
+    sines: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    proposal_width: float,
+    uniform_fraction: float,
+    spins_per_step: int = DEFAULT_SPINS_PER_STEP,
+) -> np.ndarray:
+    """Replica-parallel SVMC sweeps as one array program per chunk.
+
+    State arrays are ``(batch, max_size, reads)`` float64: rotor angles plus
+    their cosines/sines (maintained so only proposal angles need fresh
+    transcendentals) and the problem local fields on the cosines.
+    """
+    batch, max_size, reads = theta.shape
+    chunk_cap = min(spins_per_step, max_size)
+    normals = np.zeros((batch, max_size, reads))
+    mixes = np.zeros((batch, max_size, reads))
+    thresholds = np.zeros((batch, max_size, reads))
+    proposed = np.empty((batch, chunk_cap, reads))
+    proposed_cos = np.empty((batch, chunk_cap, reads))
+    proposed_sin = np.empty((batch, chunk_cap, reads))
+    diff = np.empty((batch, chunk_cap, reads))
+    delta = np.empty((batch, chunk_cap, reads))
+    shift = np.empty((batch, chunk_cap, reads))
+    scratch = np.empty((batch, chunk_cap, reads))
+    accept = np.empty((batch, chunk_cap, reads), dtype=bool)
+    change = np.empty((batch, chunk_cap, reads))
+    coupled = np.empty((batch, max_size, reads))
+    all_active = bool(mask.all())
+    for problem, transverse, temperature, activity in settings:
+        log_activity = np.log(activity)
+        _svmc_fill_blocks(
+            children,
+            sizes,
+            reads,
+            proposal_width,
+            normals,
+            mixes,
+            thresholds,
+            float(temperature),
+            log_activity,
+        )
+        for p0 in range(0, max_size, spins_per_step):
+            p1 = min(p0 + spins_per_step, max_size)
+            width = p1 - p0
+            theta_chunk = theta[:, p0:p1]
+            cos_chunk = cosines[:, p0:p1]
+            sin_chunk = sines[:, p0:p1]
+            prop = _svmc_propose_block(
+                theta_chunk,
+                normals[:, p0:p1],
+                mixes[:, p0:p1],
+                uniform_fraction,
+                proposed[:, :width],
+            )
+            cos_p, sin_p = _svmc_cos_sin_block(
+                prop, proposed_cos[:, :width], proposed_sin[:, :width]
+            )
+            gap = diff[:, :width]
+            np.subtract(cos_p, cos_chunk, out=gap)
+            sdiff = shift[:, :width]
+            np.subtract(sin_p, sin_chunk, out=sdiff)
+            step = delta[:, :width]
+            np.multiply(gap, local[:, p0:p1], out=step)
+            step *= problem
+            scaled = scratch[:, :width]
+            np.multiply(sdiff, transverse, out=scaled)
+            step -= scaled
+            np.maximum(step, 0.0, out=step)
+            decided = accept[:, :width]
+            np.less(step, thresholds[:, p0:p1], out=decided)
+            if not all_active:
+                decided &= mask[:, p0:p1, None]
+            flips = change[:, :width]
+            np.multiply(decided, gap, out=flips)
+            cos_chunk += flips
+            sdiff *= decided
+            sin_chunk += sdiff
+            np.subtract(prop, theta_chunk, out=scaled)
+            scaled *= decided
+            theta_chunk += scaled
+            apply_couplings(local, symmetric, flips, p0, p1, coupled)
+    return cosines
+
+
+def svmc_sweeps_reference(
+    theta: np.ndarray,
+    cosines: np.ndarray,
+    sines: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    proposal_width: float,
+    uniform_fraction: float,
+    spins_per_step: int = DEFAULT_SPINS_PER_STEP,
+) -> np.ndarray:
+    """The SVMC dynamics spelled out with per-read scalar loops.
+
+    Proposal blocks (elementwise arithmetic and their transcendentals) are
+    assembled with the same shared block helpers as the vectorized kernel —
+    numpy transcendentals are not bitwise-reproducible on python scalars —
+    while every accept decision and state update is an explicit per-read
+    scalar computation.  Tests only.
+    """
+    batch, max_size, reads = theta.shape
+    chunk_cap = min(spins_per_step, max_size)
+    normals = np.zeros((batch, max_size, reads))
+    mixes = np.zeros((batch, max_size, reads))
+    thresholds = np.zeros((batch, max_size, reads))
+    proposed = np.empty((batch, chunk_cap, reads))
+    proposed_cos = np.empty((batch, chunk_cap, reads))
+    proposed_sin = np.empty((batch, chunk_cap, reads))
+    change = np.empty((batch, chunk_cap, reads))
+    coupled = np.empty((batch, max_size, reads))
+    for problem, transverse, temperature, activity in settings:
+        log_activity = np.log(activity)
+        _svmc_fill_blocks(
+            children,
+            sizes,
+            reads,
+            proposal_width,
+            normals,
+            mixes,
+            thresholds,
+            float(temperature),
+            log_activity,
+        )
+        for p0 in range(0, max_size, spins_per_step):
+            p1 = min(p0 + spins_per_step, max_size)
+            width = p1 - p0
+            prop = _svmc_propose_block(
+                theta[:, p0:p1],
+                normals[:, p0:p1],
+                mixes[:, p0:p1],
+                uniform_fraction,
+                proposed[:, :width],
+            )
+            cos_p, sin_p = _svmc_cos_sin_block(
+                prop, proposed_cos[:, :width], proposed_sin[:, :width]
+            )
+            flips = change[:, :width]
+            for b in range(batch):
+                size = int(sizes[b])
+                for p in range(p0, p1):
+                    row = p - p0
+                    for r in range(reads):
+                        gap = cos_p[b, row, r] - cosines[b, p, r]
+                        sdiff = sin_p[b, row, r] - sines[b, p, r]
+                        ok = False
+                        if p < size:
+                            step = gap * local[b, p, r] * problem
+                            step = step - sdiff * transverse
+                            uphill = step if step > 0.0 else 0.0
+                            ok = uphill < thresholds[b, p, r]
+                        keep = 1.0 if ok else 0.0
+                        flip = keep * gap
+                        flips[b, row, r] = flip
+                        cosines[b, p, r] += flip
+                        sines[b, p, r] += sdiff * keep
+                        theta[b, p, r] += (prop[b, row, r] - theta[b, p, r]) * keep
+            apply_couplings(local, symmetric, flips, p0, p1, coupled)
+    return cosines
+
+
+def svmc_sweeps_numba(
+    theta: np.ndarray,
+    cosines: np.ndarray,
+    sines: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    proposal_width: float,
+    uniform_fraction: float,
+    spins_per_step: int = DEFAULT_SPINS_PER_STEP,
+) -> np.ndarray:
+    """The vectorized SVMC data flow with JIT-fused chunk decision loops."""
+    from repro.annealing import _kernels_numba
+
+    if not _kernels_numba.HAVE_NUMBA:  # pragma: no cover - guarded by dispatch
+        raise ConfigurationError("numba kernel requested but numba is not importable")
+    batch, max_size, reads = theta.shape
+    chunk_cap = min(spins_per_step, max_size)
+    normals = np.zeros((batch, max_size, reads))
+    mixes = np.zeros((batch, max_size, reads))
+    thresholds = np.zeros((batch, max_size, reads))
+    proposed = np.empty((batch, chunk_cap, reads))
+    proposed_cos = np.empty((batch, chunk_cap, reads))
+    proposed_sin = np.empty((batch, chunk_cap, reads))
+    change = np.empty((batch, chunk_cap, reads))
+    coupled = np.empty((batch, max_size, reads))
+    for problem, transverse, temperature, activity in settings:
+        log_activity = np.log(activity)
+        _svmc_fill_blocks(
+            children,
+            sizes,
+            reads,
+            proposal_width,
+            normals,
+            mixes,
+            thresholds,
+            float(temperature),
+            log_activity,
+        )
+        for p0 in range(0, max_size, spins_per_step):
+            p1 = min(p0 + spins_per_step, max_size)
+            width = p1 - p0
+            prop = _svmc_propose_block(
+                theta[:, p0:p1],
+                normals[:, p0:p1],
+                mixes[:, p0:p1],
+                uniform_fraction,
+                proposed[:, :width],
+            )
+            cos_p, sin_p = _svmc_cos_sin_block(
+                prop, proposed_cos[:, :width], proposed_sin[:, :width]
+            )
+            flips = change[:, :width]
+            _kernels_numba.svmc_chunk_updates(
+                theta,
+                cosines,
+                sines,
+                local,
+                thresholds,
+                mask,
+                prop,
+                cos_p,
+                sin_p,
+                float(problem),
+                float(transverse),
+                p0,
+                p1,
+                flips,
+            )
+            apply_couplings(local, symmetric, flips, p0, p1, coupled)
+    return cosines
+
+
+_SVMC_IMPLEMENTATIONS = {
+    "vectorized": svmc_sweeps_vectorized,
+    "reference": svmc_sweeps_reference,
+    "numba": svmc_sweeps_numba,
+}
+
+
+def svmc_sweeps(*args, implementation: str = "vectorized", **kwargs) -> np.ndarray:
+    """Dispatch SVMC sweeps to a replica-parallel implementation by name."""
+    try:
+        kernel = _SVMC_IMPLEMENTATIONS[implementation]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replica-parallel SVMC kernel {implementation!r}; "
+            f"choose one of {', '.join(_SVMC_IMPLEMENTATIONS)}"
+        ) from None
+    return kernel(*args, **kwargs)
+
+
+def svmc_sweeps_legacy(
+    theta: np.ndarray,
+    cosines: np.ndarray,
+    local: np.ndarray,
+    symmetric: np.ndarray,
+    mask: np.ndarray,
+    sizes: np.ndarray,
+    children: Sequence[np.random.Generator],
+    settings: SweepSettings,
+    *,
+    proposal_width: float,
+    uniform_fraction: float,
+) -> np.ndarray:
+    """The pre-rewrite sequential SVMC dynamics, preserved verbatim.
+
+    Operates on the historical ``(batch, reads, max_size)`` layout with
+    per-sweep random visit orders, separate uniform-angle/mix/accept draws
+    and per-position ``exp`` gates.  Benchmark baseline and
+    ``REPRO_KERNEL=legacy`` escape hatch.
+    """
+    batch, num_reads, max_size = theta.shape
+    lanes = np.arange(batch)
+    for problem, transverse, temperature, activity in settings:
+        temperature = float(temperature)
+        draws_per_spin = 2 if activity < 1.0 else 1
+
+        orders = np.zeros((batch, max_size), dtype=int)
+        normals = np.zeros((batch, max_size, num_reads))
+        uniform_angles = np.zeros((batch, max_size, num_reads))
+        use_draws = np.ones((batch, max_size, num_reads))
+        accept_draws = np.ones((batch, max_size, draws_per_spin, num_reads))
+        for index in range(batch):
+            size = int(sizes[index])
+            if size == 0:
+                continue
+            child = children[index]
+            orders[index, :size] = child.permutation(size)
+            normals[index, :size] = child.normal(0.0, proposal_width, size=(size, num_reads))
+            uniform_angles[index, :size] = child.uniform(0.0, np.pi, size=(size, num_reads))
+            use_draws[index, :size] = child.random((size, num_reads))
+            accept_draws[index, :size] = child.random((size, draws_per_spin, num_reads))
+
+        for position in range(max_size):
+            active = mask[:, position]
+            if not np.any(active):
+                break
+            index = orders[:, position]
+            current_theta = theta[lanes, :, index]
+            current_cos = cosines[lanes, :, index]
+            current_sin = np.sin(current_theta)
+
+            gaussian = current_theta + normals[:, position]
+            use_uniform = use_draws[:, position] < uniform_fraction
+            proposed_theta = np.where(
+                use_uniform, uniform_angles[:, position], np.clip(gaussian, 0.0, np.pi)
+            )
+            proposed_cos = np.cos(proposed_theta)
+            proposed_sin = np.sin(proposed_theta)
+
+            problem_field = local[lanes, :, index]
+            delta_energy = problem * problem_field * (proposed_cos - current_cos)
+            delta_energy -= transverse * (proposed_sin - current_sin)
+
+            accept = (delta_energy <= 0.0) | (
+                accept_draws[:, position, 0]
+                < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
+            )
+            if activity < 1.0:
+                accept &= accept_draws[:, position, 1] < activity
+            accept &= active[:, None]
+            touched = np.nonzero(np.any(accept, axis=1))[0]
+            if touched.size == 0:
+                continue
+
+            new_theta = np.where(accept, proposed_theta, current_theta)
+            new_cos = np.cos(new_theta)
+            change = new_cos - current_cos
+            theta[lanes, :, index] = new_theta
+            cosines[lanes, :, index] = new_cos
+            rows = symmetric[touched, index[touched], :]
+            local[touched] += change[touched][:, :, None] * rows[:, None, :]
+    return cosines

@@ -22,10 +22,13 @@ directly onto its effective-temperature trajectory, and its freeze-out model
 reproduces the "too late to repair a random state" behaviour Figure 6's
 RA(random) series depends on.  It is also the backend the batched
 multi-instance engine (Figure 2's requirement that many channel uses be in
-flight at once) is benchmarked on: :meth:`run_batch` executes B independent
-QUBO instances as one ``(B, num_reads, num_spins)`` vectorised Metropolis
-computation while drawing each instance's randomness from its own child
-generator, so batched and sequential results are bitwise-identical.
+flight at once) is benchmarked on: both entry points execute through the
+replica-parallel sweep kernels of :mod:`repro.annealing.kernels` — one array
+program over ``(batch, spins, reads)`` per sweep — while drawing each
+instance's randomness from its own child generator, so batched and
+sequential results are bitwise-identical and independent of batch grouping.
+The ``REPRO_KERNEL`` environment variable selects the kernel implementation
+(vectorized / reference / numba / legacy); see ``docs/kernels.md``.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.annealing import kernels
 from repro.annealing.backend import AnnealingBackend, broadcast_initial_spins, pad_problem_batch
 from repro.annealing.device import AnnealingFunctions
 from repro.annealing.schedule import AnnealSchedule
@@ -101,66 +105,41 @@ class ScheduleDrivenAnnealingBackend(AnnealingBackend):
         initial_spins: Optional[np.ndarray] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
-        """Run the Metropolis dynamics along the schedule; see the backend interface."""
-        if num_reads <= 0:
-            raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
+        """Run the Metropolis dynamics along the schedule; see the backend interface.
+
+        Implemented as a batch of one: the same sweep kernel serves both entry
+        points, so a single run is bitwise-identical to the corresponding lane
+        of any batched run seeded with the same generator.
+        """
         generator = ensure_rng(rng)
-        fields = np.asarray(fields, dtype=float).ravel()
-        couplings = np.asarray(couplings, dtype=float)
-        num_spins = fields.size
+        return self.run_batch(
+            [np.asarray(fields, dtype=float).ravel()],
+            [np.asarray(couplings, dtype=float)],
+            schedule,
+            num_reads,
+            annealing_functions,
+            relative_temperature,
+            initial_spins=None if initial_spins is None else [initial_spins],
+            rng=[generator],
+        )[0]
 
-        if num_spins == 0:
-            return np.zeros((num_reads, 0), dtype=np.int8)
-
-        symmetric = couplings + couplings.T
+    def _sweep_settings(
+        self,
+        schedule: AnnealSchedule,
+        annealing_functions: AnnealingFunctions,
+        relative_temperature: float,
+    ) -> List[tuple]:
+        """Per-sweep ``(problem, transverse, temperature, activity)`` scalars."""
         base_temperature = max(relative_temperature, 1e-6)
-
-        initial = broadcast_initial_spins(initial_spins, num_reads, num_spins)
-        if schedule.requires_initial_state and initial is None:
-            raise ConfigurationError(
-                f"schedule {schedule.name!r} starts at s = 1 and requires an initial state"
-            )
-
-        if initial is not None:
-            spins = initial.astype(float)
-        else:
-            spins = generator.choice([-1.0, 1.0], size=(num_reads, num_spins))
-
         num_steps = max(2, int(round(schedule.duration_us * self.sweeps_per_microsecond)))
-        waypoints = schedule.discretise(num_steps)
-
-        # local[r, i] = h_i + sum_j J_ij s_j
-        local = fields[None, :] + spins @ symmetric
-
-        for _, s in waypoints:
+        settings = []
+        for _, s in schedule.discretise(num_steps):
             problem = annealing_functions.relative_problem(float(s))
             transverse = annealing_functions.relative_transverse(float(s))
             temperature = base_temperature + self.fluctuation_gain * transverse
             activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
-            order = generator.permutation(num_spins)
-            # One blocked draw per sweep consumes the generator stream exactly
-            # like the per-spin draws it replaces (row k = spin k's uniforms),
-            # but costs one RNG call instead of one or two per spin.
-            draws_per_spin = 2 if activity < 1.0 else 1
-            draws = generator.random((num_spins, draws_per_spin, num_reads))
-            for position, index in enumerate(order):
-                current = spins[:, index]
-                # Energy change of flipping spin `index`: dE = -2 * s_i * local_i
-                delta_energy = -2.0 * current * local[:, index] * problem
-                accept = (delta_energy <= 0.0) | (
-                    draws[position, 0]
-                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
-                )
-                if activity < 1.0:
-                    accept &= draws[position, 1] < activity
-                if not np.any(accept):
-                    continue
-                flipped = np.where(accept, -current, current)
-                change = flipped - current
-                spins[:, index] = flipped
-                local += change[:, None] * symmetric[index][None, :]
-
-        return spins.astype(np.int8)
+            settings.append((problem, transverse, temperature, activity))
+        return settings
 
     def run_batch(
         self,
@@ -176,11 +155,14 @@ class ScheduleDrivenAnnealingBackend(AnnealingBackend):
         """Vectorised multi-instance Metropolis kernel; see the backend interface.
 
         All B instances advance through the shared schedule as one
-        ``(B, num_reads, num_spins)`` computation.  Instances are padded to a
-        common size with zero fields/couplings and a validity mask, and each
-        instance draws exclusively from its own child generator in the same
-        order :meth:`run` would, so the results are bitwise-identical to the
-        sequential loop over :meth:`run` with those children.
+        replica-parallel array computation (see
+        :mod:`repro.annealing.kernels`): instances are padded to a common
+        size with zero fields/couplings and a validity mask, and instance
+        ``b`` draws exclusively from child generator ``b``, so results are
+        independent of how a workload is grouped into batches.  The sweep
+        implementation is selected by the ``REPRO_KERNEL`` environment
+        variable; ``REPRO_KERNEL=legacy`` reproduces the pre-kernel-rewrite
+        sequential dynamics bit for bit.
         """
         if num_reads <= 0:
             raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
@@ -209,75 +191,50 @@ class ScheduleDrivenAnnealingBackend(AnnealingBackend):
         if max_size == 0:
             return [np.zeros((num_reads, 0), dtype=np.int8) for _ in range(batch)]
 
-        base_temperature = max(relative_temperature, 1e-6)
-        # Padding lanes start at +1 and, having zero couplings, never influence
-        # real spins; their own flips are suppressed by the mask below.
-        spins = np.ones((batch, num_reads, max_size))
-        local = np.zeros((batch, num_reads, max_size))
+        settings = self._sweep_settings(schedule, annealing_functions, relative_temperature)
+        kernel = kernels.active_kernel_name()
+
+        if kernel == "legacy":
+            # Pre-rewrite read-major layout and sequential per-position sweeps.
+            spins = np.ones((batch, num_reads, max_size))
+            local = np.zeros((batch, num_reads, max_size))
+            for index in range(batch):
+                size = int(sizes[index])
+                if size == 0:
+                    continue
+                if initials[index] is not None:
+                    spins[index, :, :size] = initials[index].astype(float)
+                else:
+                    spins[index, :, :size] = children[index].choice(
+                        [-1.0, 1.0], size=(num_reads, size)
+                    )
+                local[index, :, :size] = (
+                    padded_fields[index, :size][None, :]
+                    + spins[index, :, :size] @ symmetric[index, :size, :size]
+                )
+            kernels.sa_sweeps_legacy(spins, local, symmetric, mask, sizes, children, settings)
+            return [
+                spins[index, :, : int(sizes[index])].astype(np.int8) for index in range(batch)
+            ]
+
+        # Replica-parallel kernels use the spin-major (batch, spins, reads)
+        # layout.  Padding lanes start at +1 and, having zero couplings, never
+        # influence real spins; the kernel's mask suppresses their own flips.
+        state = np.ones((batch, max_size, num_reads))
         for index in range(batch):
             size = int(sizes[index])
             if size == 0:
                 continue
             if initials[index] is not None:
-                spins[index, :, :size] = initials[index].astype(float)
+                state[index, :size] = initials[index].astype(float).T
             else:
-                spins[index, :, :size] = children[index].choice(
+                state[index, :size] = children[index].choice(
                     [-1.0, 1.0], size=(num_reads, size)
-                )
-            local[index, :, :size] = (
-                padded_fields[index, :size][None, :]
-                + spins[index, :, :size] @ symmetric[index, :size, :size]
-            )
-
-        num_steps = max(2, int(round(schedule.duration_us * self.sweeps_per_microsecond)))
-        waypoints = schedule.discretise(num_steps)
-        lanes = np.arange(batch)
-
-        for _, s in waypoints:
-            problem = annealing_functions.relative_problem(float(s))
-            transverse = annealing_functions.relative_transverse(float(s))
-            temperature = base_temperature + self.fluctuation_gain * transverse
-            activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
-            draws_per_spin = 2 if activity < 1.0 else 1
-
-            # Per-instance sweep orders and uniforms, drawn from each child in
-            # the same blocked layout the single-instance kernel uses.
-            orders = np.zeros((batch, max_size), dtype=int)
-            draws = np.zeros((batch, max_size, draws_per_spin, num_reads))
-            for index in range(batch):
-                size = int(sizes[index])
-                if size == 0:
-                    continue
-                orders[index, :size] = children[index].permutation(size)
-                draws[index, :size] = children[index].random(
-                    (size, draws_per_spin, num_reads)
-                )
-
-            for position in range(max_size):
-                # Padding is trailing, so the mask column doubles as "does
-                # this instance still have a spin to visit at this position".
-                active = mask[:, position]
-                if not np.any(active):
-                    break
-                index = orders[:, position]
-                current = spins[lanes, :, index]
-                delta_energy = -2.0 * current * local[lanes, :, index] * problem
-                accept = (delta_energy <= 0.0) | (
-                    draws[:, position, 0]
-                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
-                )
-                if activity < 1.0:
-                    accept &= draws[:, position, 1] < activity
-                accept &= active[:, None]
-                touched = np.nonzero(np.any(accept, axis=1))[0]
-                if touched.size == 0:
-                    continue
-                flipped = np.where(accept, -current, current)
-                change = flipped - current
-                spins[lanes, :, index] = flipped
-                rows = symmetric[touched, index[touched], :]
-                local[touched] += change[touched][:, :, None] * rows[:, None, :]
-
+                ).T
+        local = kernels.initial_local_fields(padded_fields, symmetric, state)
+        kernels.sa_sweeps(
+            state, local, symmetric, mask, sizes, children, settings, implementation=kernel
+        )
         return [
-            spins[index, :, : int(sizes[index])].astype(np.int8) for index in range(batch)
+            state[index, : int(sizes[index])].T.astype(np.int8) for index in range(batch)
         ]

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.annealing import kernels
 from repro.annealing.backend import AnnealingBackend
 from repro.annealing.device import DeviceModel
 from repro.annealing.embedding import embed_ising, find_clique_embedding, unembed_sampleset
@@ -35,7 +36,13 @@ from repro.annealing.svmc import SpinVectorMonteCarloBackend
 from repro.exceptions import ConfigurationError
 from repro.qubo.ising import IsingModel, bits_to_spins, qubo_to_ising
 from repro.qubo.model import QUBOModel
-from repro.utils.rng import BatchRandomState, RandomState, ensure_rng, ensure_rng_batch
+from repro.utils.rng import (
+    BatchRandomState,
+    RandomState,
+    ensure_rng,
+    ensure_rng_batch,
+    spawn_rngs,
+)
 
 __all__ = ["QuantumAnnealerSimulator"]
 
@@ -229,10 +236,14 @@ class QuantumAnnealerSimulator:
 
         fields_list = []
         couplings_list = []
+        kernel_children = []
         for index, ising in enumerate(isings):
             fields, couplings, _ = self._normalise(ising, children[index])
             fields_list.append(fields)
             couplings_list.append(couplings)
+            # Mirrors the single-instance path (normalise, then spawn the
+            # kernel child) so batch-of-one stays bitwise-identical to single.
+            kernel_children.append(self._kernel_rng(children[index]))
         spins_list = self.backend.run_batch(
             fields=fields_list,
             couplings=couplings_list,
@@ -241,7 +252,7 @@ class QuantumAnnealerSimulator:
             annealing_functions=self.device.annealing,
             relative_temperature=self.device.relative_temperature,
             initial_spins=initial_spins,
-            rng=children,
+            rng=kernel_children,
         )
         samplesets = []
         for ising, spins in zip(isings, spins_list):
@@ -335,6 +346,22 @@ class QuantumAnnealerSimulator:
         fields, couplings = self.device.apply_control_noise(fields, couplings, generator)
         return fields, couplings, scale
 
+    @staticmethod
+    def _kernel_rng(generator: np.random.Generator) -> np.random.Generator:
+        """Child generator feeding the anneal kernel's draws.
+
+        The kernel consumes a number of draws that scales with ``num_reads``;
+        *spawning* a child (which advances only the seed-sequence spawn
+        counter, never the caller's bitstream) instead of drawing directly
+        means sweeping ``num_reads`` can never shift the draws any downstream
+        consumer takes from the caller's generator.  ``REPRO_KERNEL=legacy``
+        keeps the pre-rewrite behaviour — kernel draws taken straight from
+        the caller's stream — so historical bitstreams stay reproducible.
+        """
+        if kernels.active_kernel_name() == "legacy":
+            return generator
+        return spawn_rngs(generator, 1)[0]
+
     def _sample_logical(
         self,
         ising: IsingModel,
@@ -352,7 +379,7 @@ class QuantumAnnealerSimulator:
             annealing_functions=self.device.annealing,
             relative_temperature=self.device.relative_temperature,
             initial_spins=initial_spins,
-            rng=generator,
+            rng=self._kernel_rng(generator),
         )
         bits = ((spins + 1) // 2).astype(np.int8)
         energies = ising.energies(spins)
@@ -407,15 +434,19 @@ class QuantumAnnealerSimulator:
             annealing_functions=self.device.annealing,
             relative_temperature=self.device.relative_temperature,
             initial_spins=physical_initial,
-            rng=generator,
+            rng=self._kernel_rng(generator),
         )
         physical_samples = [
             {qubit: int(spins[read, position[qubit]]) for qubit in used_qubits}
             for read in range(num_reads)
         ]
         # Energies are re-evaluated on the *unnormalised* logical model so the
-        # caller sees energies in their own units.
-        sampleset = unembed_sampleset(physical_samples, embedding, ising, generator)
+        # caller sees energies in their own units.  Chain-break tie resolution
+        # draws from its own spawned child for the same reason the kernel
+        # does: its consumption scales with num_reads.
+        sampleset = unembed_sampleset(
+            physical_samples, embedding, ising, self._kernel_rng(generator)
+        )
         sampleset.metadata["chain_strength"] = chain_strength
         sampleset.metadata["max_chain_length"] = embedding.max_chain_length
         return sampleset

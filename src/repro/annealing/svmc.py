@@ -24,10 +24,13 @@ backend of :class:`repro.annealing.QuantumAnnealerSimulator`.  It models the
 transverse-field mechanism behind the paper's Figure 5 schedules and the
 Figure 6/8 reverse-annealing band structure (success over a window of
 ``s_p``, collapse on both sides).  Like the schedule-driven backend it
-implements the batched engine contract: :meth:`run_batch` advances B
-instances through one schedule as a single ``(B, num_reads, num_spins)``
-rotor computation, with per-instance child generators so batched and
-sequential results are bitwise-identical.
+implements the batched engine contract: both entry points advance through
+the replica-parallel rotor kernels of :mod:`repro.annealing.kernels` — one
+array program over ``(batch, spins, reads)`` per sweep — with per-instance
+child generators so batched and sequential results are bitwise-identical
+and independent of batch grouping.  The ``REPRO_KERNEL`` environment
+variable selects the kernel implementation (vectorized / reference / numba /
+legacy); see ``docs/kernels.md``.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.annealing import kernels
 from repro.annealing.backend import AnnealingBackend, broadcast_initial_spins, pad_problem_batch
 from repro.annealing.device import AnnealingFunctions
 from repro.annealing.schedule import AnnealSchedule
@@ -119,86 +123,42 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
         initial_spins: Optional[np.ndarray] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
-        """Run the SVMC dynamics along the schedule; see the backend interface."""
-        if num_reads <= 0:
-            raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
+        """Run the SVMC dynamics along the schedule; see the backend interface.
+
+        Implemented as a batch of one: the same rotor kernel serves both entry
+        points, so a single run is bitwise-identical to the corresponding lane
+        of any batched run seeded with the same generator.
+        """
         generator = ensure_rng(rng)
-        fields = np.asarray(fields, dtype=float).ravel()
-        couplings = np.asarray(couplings, dtype=float)
-        num_spins = fields.size
+        return self.run_batch(
+            [np.asarray(fields, dtype=float).ravel()],
+            [np.asarray(couplings, dtype=float)],
+            schedule,
+            num_reads,
+            annealing_functions,
+            relative_temperature,
+            initial_spins=None if initial_spins is None else [initial_spins],
+            rng=[generator],
+        )[0]
 
-        if num_spins == 0:
-            return np.zeros((num_reads, 0), dtype=np.int8)
-
-        symmetric = couplings + couplings.T
+    def _sweep_settings(
+        self,
+        schedule: AnnealSchedule,
+        annealing_functions: AnnealingFunctions,
+        relative_temperature: float,
+    ) -> List[tuple]:
+        """Per-sweep ``(problem, transverse, temperature, activity)`` scalars."""
         temperature = max(relative_temperature, 1e-6)
-
-        initial = broadcast_initial_spins(initial_spins, num_reads, num_spins)
-        if schedule.requires_initial_state and initial is None:
-            raise ConfigurationError(
-                f"schedule {schedule.name!r} starts at s = 1 and requires an initial state"
-            )
-
-        theta = self._initial_angles(initial, num_reads, num_spins, generator)
-
         num_steps = max(2, int(round(schedule.duration_us * self.sweeps_per_microsecond)))
-        waypoints = schedule.discretise(num_steps)
-
-        cosines = np.cos(theta)
-        # local[r, i] = h_i + sum_j J_ij cos(theta_j)   (problem local field)
-        local = fields[None, :] + cosines @ symmetric
-
-        for _, s in waypoints:
-            transverse = annealing_functions.relative_transverse(float(s))
+        settings = []
+        for _, s in schedule.discretise(num_steps):
             problem = annealing_functions.relative_problem(float(s))
+            transverse = annealing_functions.relative_transverse(float(s))
             # Freeze-out: spin updates only happen while quantum fluctuations
             # remain appreciable relative to the problem scale.
             activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
-            order = generator.permutation(num_spins)
-            # Blocked per-sweep draws: one RNG call per distribution per sweep
-            # instead of four or five per spin.  Row k of each block belongs to
-            # the k-th spin visited this sweep.
-            draws_per_spin = 2 if activity < 1.0 else 1
-            normals = generator.normal(0.0, self.proposal_width, size=(num_spins, num_reads))
-            uniform_angles = generator.uniform(0.0, np.pi, size=(num_spins, num_reads))
-            use_draws = generator.random((num_spins, num_reads))
-            accept_draws = generator.random((num_spins, draws_per_spin, num_reads))
-            for position, index in enumerate(order):
-                current_theta = theta[:, index]
-                current_cos = cosines[:, index]
-                current_sin = np.sin(current_theta)
-
-                gaussian = current_theta + normals[position]
-                use_uniform = use_draws[position] < self.uniform_fraction
-                proposed_theta = np.where(
-                    use_uniform, uniform_angles[position], np.clip(gaussian, 0.0, np.pi)
-                )
-                proposed_cos = np.cos(proposed_theta)
-                proposed_sin = np.sin(proposed_theta)
-
-                # Local field excluding spin `index` itself (J_ii = 0 always).
-                problem_field = local[:, index]
-                delta_energy = problem * problem_field * (proposed_cos - current_cos)
-                delta_energy -= transverse * (proposed_sin - current_sin)
-
-                accept = (delta_energy <= 0.0) | (
-                    accept_draws[position, 0]
-                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
-                )
-                if activity < 1.0:
-                    accept &= accept_draws[position, 1] < activity
-                if not np.any(accept):
-                    continue
-
-                new_theta = np.where(accept, proposed_theta, current_theta)
-                new_cos = np.cos(new_theta)
-                change = new_cos - current_cos
-                theta[:, index] = new_theta
-                cosines[:, index] = new_cos
-                # Rank-1 update of every read's local fields.
-                local += change[:, None] * symmetric[index][None, :]
-
-        return self._project(cosines, generator)
+            settings.append((problem, transverse, temperature, activity))
+        return settings
 
     def run_batch(
         self,
@@ -213,13 +173,14 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
     ) -> List[np.ndarray]:
         """Vectorised multi-instance SVMC kernel; see the backend interface.
 
-        Mirrors :meth:`run` with a leading batch dimension: all B rotor
-        systems evolve through the shared schedule as one
-        ``(B, num_reads, num_spins)`` computation, padded to a common size,
-        with instance ``b`` drawing from child generator ``b`` in the same
-        blocked per-sweep layout :meth:`run` uses — so the results are
-        bitwise-identical to the sequential loop over :meth:`run` with those
-        children.
+        All B rotor systems evolve through the shared schedule as one
+        replica-parallel array computation (see
+        :mod:`repro.annealing.kernels`), padded to a common size, with
+        instance ``b`` drawing exclusively from child generator ``b`` — so
+        results are independent of how a workload is grouped into batches.
+        The sweep implementation is selected by the ``REPRO_KERNEL``
+        environment variable; ``REPRO_KERNEL=legacy`` reproduces the
+        pre-kernel-rewrite sequential dynamics bit for bit.
         """
         if num_reads <= 0:
             raise ConfigurationError(f"num_reads must be positive, got {num_reads}")
@@ -248,101 +209,75 @@ class SpinVectorMonteCarloBackend(AnnealingBackend):
         if max_size == 0:
             return [np.zeros((num_reads, 0), dtype=np.int8) for _ in range(batch)]
 
-        temperature = max(relative_temperature, 1e-6)
-        # Padding rotors sit at theta = 0 with zero couplings: they cannot
-        # influence real spins and the mask keeps them out of the sweep.
-        theta = np.zeros((batch, num_reads, max_size))
-        cosines = np.ones((batch, num_reads, max_size))
-        local = np.zeros((batch, num_reads, max_size))
-        for index in range(batch):
-            size = int(sizes[index])
-            if size == 0:
-                continue
-            theta[index, :, :size] = self._initial_angles(
-                initials[index], num_reads, size, children[index]
-            )
-            cosines[index, :, :size] = np.cos(theta[index, :, :size])
-            local[index, :, :size] = (
-                padded_fields[index, :size][None, :]
-                + cosines[index, :, :size] @ symmetric[index, :size, :size]
-            )
+        settings = self._sweep_settings(schedule, annealing_functions, relative_temperature)
+        kernel = kernels.active_kernel_name()
 
-        num_steps = max(2, int(round(schedule.duration_us * self.sweeps_per_microsecond)))
-        waypoints = schedule.discretise(num_steps)
-        lanes = np.arange(batch)
-
-        for _, s in waypoints:
-            transverse = annealing_functions.relative_transverse(float(s))
-            problem = annealing_functions.relative_problem(float(s))
-            activity = max(min(1.0, transverse / self.freeze_scale), self.residual_activity)
-            draws_per_spin = 2 if activity < 1.0 else 1
-
-            orders = np.zeros((batch, max_size), dtype=int)
-            normals = np.zeros((batch, max_size, num_reads))
-            uniform_angles = np.zeros((batch, max_size, num_reads))
-            use_draws = np.ones((batch, max_size, num_reads))
-            accept_draws = np.ones((batch, max_size, draws_per_spin, num_reads))
+        if kernel == "legacy":
+            # Pre-rewrite read-major layout and sequential per-position sweeps.
+            theta = np.zeros((batch, num_reads, max_size))
+            cosines = np.ones((batch, num_reads, max_size))
+            local = np.zeros((batch, num_reads, max_size))
             for index in range(batch):
                 size = int(sizes[index])
                 if size == 0:
                     continue
-                child = children[index]
-                orders[index, :size] = child.permutation(size)
-                normals[index, :size] = child.normal(
-                    0.0, self.proposal_width, size=(size, num_reads)
+                theta[index, :, :size] = self._initial_angles(
+                    initials[index], num_reads, size, children[index]
                 )
-                uniform_angles[index, :size] = child.uniform(
-                    0.0, np.pi, size=(size, num_reads)
+                cosines[index, :, :size] = np.cos(theta[index, :, :size])
+                local[index, :, :size] = (
+                    padded_fields[index, :size][None, :]
+                    + cosines[index, :, :size] @ symmetric[index, :size, :size]
                 )
-                use_draws[index, :size] = child.random((size, num_reads))
-                accept_draws[index, :size] = child.random(
-                    (size, draws_per_spin, num_reads)
-                )
+            kernels.svmc_sweeps_legacy(
+                theta,
+                cosines,
+                local,
+                symmetric,
+                mask,
+                sizes,
+                children,
+                settings,
+                proposal_width=self.proposal_width,
+                uniform_fraction=self.uniform_fraction,
+            )
+            return [
+                self._project(cosines[index, :, : int(sizes[index])], children[index])
+                for index in range(batch)
+            ]
 
-            for position in range(max_size):
-                # Padding is trailing, so the mask column doubles as "does
-                # this instance still have a spin to visit at this position".
-                active = mask[:, position]
-                if not np.any(active):
-                    break
-                index = orders[:, position]
-                current_theta = theta[lanes, :, index]
-                current_cos = cosines[lanes, :, index]
-                current_sin = np.sin(current_theta)
-
-                gaussian = current_theta + normals[:, position]
-                use_uniform = use_draws[:, position] < self.uniform_fraction
-                proposed_theta = np.where(
-                    use_uniform, uniform_angles[:, position], np.clip(gaussian, 0.0, np.pi)
-                )
-                proposed_cos = np.cos(proposed_theta)
-                proposed_sin = np.sin(proposed_theta)
-
-                problem_field = local[lanes, :, index]
-                delta_energy = problem * problem_field * (proposed_cos - current_cos)
-                delta_energy -= transverse * (proposed_sin - current_sin)
-
-                accept = (delta_energy <= 0.0) | (
-                    accept_draws[:, position, 0]
-                    < np.exp(-np.clip(delta_energy, 0.0, 700.0) / temperature)
-                )
-                if activity < 1.0:
-                    accept &= accept_draws[:, position, 1] < activity
-                accept &= active[:, None]
-                touched = np.nonzero(np.any(accept, axis=1))[0]
-                if touched.size == 0:
-                    continue
-
-                new_theta = np.where(accept, proposed_theta, current_theta)
-                new_cos = np.cos(new_theta)
-                change = new_cos - current_cos
-                theta[lanes, :, index] = new_theta
-                cosines[lanes, :, index] = new_cos
-                rows = symmetric[touched, index[touched], :]
-                local[touched] += change[touched][:, :, None] * rows[:, None, :]
-
+        # Replica-parallel kernels use the spin-major (batch, spins, reads)
+        # layout.  Padding rotors sit at theta = 0 (cos 1, sin 0) with zero
+        # couplings: they cannot influence real spins and the kernel's mask
+        # keeps them frozen.
+        theta = np.zeros((batch, max_size, num_reads))
+        for index in range(batch):
+            size = int(sizes[index])
+            if size == 0:
+                continue
+            theta[index, :size] = self._initial_angles(
+                initials[index], num_reads, size, children[index]
+            ).T
+        # Padding rotors at theta = 0 land exactly on cos 1 / sin 0.
+        cosines = np.cos(theta)
+        sines = np.sin(theta)
+        local = kernels.initial_local_fields(padded_fields, symmetric, cosines)
+        kernels.svmc_sweeps(
+            theta,
+            cosines,
+            sines,
+            local,
+            symmetric,
+            mask,
+            sizes,
+            children,
+            settings,
+            implementation=kernel,
+            proposal_width=self.proposal_width,
+            uniform_fraction=self.uniform_fraction,
+        )
         return [
-            self._project(cosines[index, :, : int(sizes[index])], children[index])
+            self._project(cosines[index, : int(sizes[index])].T, children[index])
             for index in range(batch)
         ]
 

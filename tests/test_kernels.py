@@ -1,0 +1,493 @@
+"""Tests for repro.annealing.kernels (replica-parallel sweep kernels).
+
+The reference kernels are the executable specification: every fast
+implementation (vectorized, numba) must reproduce them *bit for bit* on every
+tested configuration — spin counts, read counts, chunk sizes, schedules and
+seeds — for both the SA and SVMC families.  The suite also locks down the
+``REPRO_KERNEL`` selection machinery and the random-draw discipline that
+keeps experiment results invariant to batching.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.annealing import kernels
+from repro.annealing.device import AnnealingFunctions
+from repro.annealing.kernels import (
+    DEFAULT_SPINS_PER_STEP,
+    KERNEL_CHOICES,
+    KERNEL_ENV_VAR,
+    initial_local_fields,
+    sa_sweeps,
+    svmc_sweeps,
+)
+from repro.annealing.sa_backend import ScheduleDrivenAnnealingBackend
+from repro.annealing.sampler import QuantumAnnealerSimulator
+from repro.annealing.schedule import forward_anneal_schedule, reverse_anneal_schedule
+from repro.annealing.svmc import SpinVectorMonteCarloBackend
+from repro.classical.simulated_annealing import SimulatedAnnealingSolver
+from repro.exceptions import ConfigurationError
+from repro.qubo.ising import IsingModel
+from repro.qubo.model import QUBOModel
+from repro.utils.rng import spawn_rngs
+
+needs_numba = pytest.mark.skipif(
+    not kernels.numba_available(), reason="numba is not installed"
+)
+
+#: Named sweep schedules exercising every decision branch of the kernels:
+#: problem > 0 and problem == 0 sweeps, full activity and freeze-out
+#: dilution, hot and near-frozen temperatures.
+SCHEDULES = {
+    "anneal": [
+        (0.2, 0.8, 2.0, 1.0),
+        (0.6, 0.4, 1.0, 0.6),
+        (1.0, 0.05, 0.3, 0.02),
+    ],
+    "zero-problem": [
+        (0.0, 1.0, 2.0, 0.5),
+        (0.0, 1.0, 2.0, 1.0),
+        (1.0, 0.0, 0.5, 1.0),
+    ],
+    "cold-quench": [
+        (1.0, 0.0, 1e-6, 1.0),
+        (1.0, 0.0, 1e-6, 0.4),
+    ],
+}
+
+#: Batch compositions: equal sizes, ragged sizes (padding lanes), batch of 1.
+SIZE_SETS = {
+    "single": [6],
+    "equal": [5, 5],
+    "ragged": [7, 3, 10],
+}
+
+
+def _problem_batch(sizes, seed):
+    """Random padded (fields, symmetric couplings, mask, sizes) batch."""
+    rng = np.random.default_rng(seed)
+    batch, max_size = len(sizes), max(sizes)
+    padded_fields = np.zeros((batch, max_size))
+    symmetric = np.zeros((batch, max_size, max_size))
+    mask = np.zeros((batch, max_size), dtype=bool)
+    for b, n in enumerate(sizes):
+        padded_fields[b, :n] = rng.normal(size=n)
+        upper = np.triu(rng.normal(size=(n, n)), 1)
+        symmetric[b, :n, :n] = upper + upper.T
+        mask[b, :n] = True
+    return padded_fields, symmetric, mask, np.array(sizes, dtype=int)
+
+
+def _sa_state(sizes, reads, seed, padded_fields, symmetric, track=False):
+    """Fresh SA kernel state plus the child generators that drive it."""
+    children = spawn_rngs(seed, len(sizes))
+    batch, max_size = len(sizes), max(sizes)
+    state = np.ones((batch, max_size, reads))
+    for b, n in enumerate(sizes):
+        state[b, :n] = children[b].choice([-1.0, 1.0], size=(reads, n)).T
+    local = initial_local_fields(padded_fields, symmetric, state)
+    extras = {}
+    if track:
+        energies = 0.5 * (
+            np.einsum("bnr,bnr->br", state, local)
+            + np.einsum("bnr,bn->br", state, padded_fields)
+        )
+        extras = {
+            "energies": energies,
+            "best_spins": state.copy(),
+            "best_energies": energies.copy(),
+        }
+    return state, local, children, extras
+
+
+def _svmc_state(sizes, reads, seed, padded_fields, symmetric):
+    """Fresh SVMC rotor state plus the child generators that drive it."""
+    children = spawn_rngs(seed, len(sizes))
+    batch, max_size = len(sizes), max(sizes)
+    theta = np.zeros((batch, max_size, reads))
+    for b, n in enumerate(sizes):
+        theta[b, :n] = children[b].uniform(0.0, np.pi, size=(reads, n)).T
+    cosines = np.cos(theta)
+    sines = np.sin(theta)
+    local = initial_local_fields(padded_fields, symmetric, cosines)
+    return theta, cosines, sines, local, children
+
+
+def _run_sa(implementation, sizes, reads, seed, schedule, chunk, track=False):
+    padded_fields, symmetric, mask, size_array = _problem_batch(sizes, seed + 1000)
+    state, local, children, extras = _sa_state(
+        sizes, reads, seed, padded_fields, symmetric, track=track
+    )
+    sa_sweeps(
+        state,
+        local,
+        symmetric,
+        mask,
+        size_array,
+        children,
+        schedule,
+        implementation=implementation,
+        spins_per_step=chunk,
+        **extras,
+    )
+    return state, local, extras
+
+
+def _run_svmc(implementation, sizes, reads, seed, schedule, chunk, **params):
+    padded_fields, symmetric, mask, size_array = _problem_batch(sizes, seed + 1000)
+    theta, cosines, sines, local, children = _svmc_state(
+        sizes, reads, seed, padded_fields, symmetric
+    )
+    svmc_sweeps(
+        theta,
+        cosines,
+        sines,
+        local,
+        symmetric,
+        mask,
+        size_array,
+        children,
+        schedule,
+        implementation=implementation,
+        proposal_width=params.get("proposal_width", 0.5),
+        uniform_fraction=params.get("uniform_fraction", 0.15),
+        spins_per_step=chunk,
+    )
+    return theta, cosines, sines, local
+
+
+class TestKernelSelection:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert kernels.requested_kernel_name() == "vectorized"
+        assert kernels.active_kernel_name() == "vectorized"
+
+    @pytest.mark.parametrize("name", KERNEL_CHOICES)
+    def test_every_choice_is_accepted(self, monkeypatch, name):
+        monkeypatch.setenv(KERNEL_ENV_VAR, name)
+        assert kernels.requested_kernel_name() == name
+
+    def test_value_is_normalised(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "  Reference ")
+        assert kernels.requested_kernel_name() == "reference"
+
+    def test_unknown_value_is_rejected(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "turbo")
+        with pytest.raises(ConfigurationError, match="turbo"):
+            kernels.requested_kernel_name()
+        with pytest.raises(ConfigurationError):
+            kernels.active_kernel_name()
+
+    def test_numba_resolution(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numba")
+        monkeypatch.setattr(kernels, "_numba_fallback_warned", False)
+        if kernels.numba_available():
+            assert kernels.active_kernel_name() == "numba"
+        else:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert kernels.active_kernel_name() == "vectorized"
+            # The warning fires once per process, not once per call.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert kernels.active_kernel_name() == "vectorized"
+
+    @pytest.mark.parametrize("dispatch", [sa_sweeps, svmc_sweeps])
+    def test_dispatch_rejects_unknown_implementation(self, dispatch):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            dispatch(implementation="warp-drive")
+
+
+class TestSAEquivalence:
+    """vectorized (and numba) SA kernels are bitwise-identical to reference."""
+
+    @pytest.mark.parametrize("size_key", sorted(SIZE_SETS))
+    @pytest.mark.parametrize("schedule_key", sorted(SCHEDULES))
+    @pytest.mark.parametrize("reads", [1, 4])
+    @pytest.mark.parametrize("chunk", [1, 4, DEFAULT_SPINS_PER_STEP])
+    def test_vectorized_matches_reference(self, size_key, schedule_key, reads, chunk):
+        sizes, schedule = SIZE_SETS[size_key], SCHEDULES[schedule_key]
+        ref = _run_sa("reference", sizes, reads, 7, schedule, chunk)
+        vec = _run_sa("vectorized", sizes, reads, 7, schedule, chunk)
+        for reference, candidate in zip(ref[:2], vec[:2]):
+            assert np.array_equal(reference, candidate)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_seed_sweep(self, seed):
+        ref = _run_sa("reference", [9, 4], 3, seed, SCHEDULES["anneal"], 5)
+        vec = _run_sa("vectorized", [9, 4], 3, seed, SCHEDULES["anneal"], 5)
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(ref[1], vec[1])
+
+    def test_energy_and_best_tracking_match(self):
+        # Per-instance temperature arrays (the classical solver's schedule
+        # shape) with exact energy bookkeeping and best-state minima.
+        schedule = [
+            (1.0, 0.0, np.array([3.0, 1.0]), 1.0),
+            (1.0, 0.0, np.array([0.5, 0.2]), 1.0),
+            (1.0, 0.0, np.array([0.05, 0.01]), 1.0),
+        ]
+        ref = _run_sa("reference", [6, 8], 3, 5, schedule, 4, track=True)
+        vec = _run_sa("vectorized", [6, 8], 3, 5, schedule, 4, track=True)
+        assert np.array_equal(ref[0], vec[0])
+        for key in ("energies", "best_spins", "best_energies"):
+            assert np.array_equal(ref[2][key], vec[2][key]), key
+
+    def test_tracked_energies_are_exact(self):
+        # The incrementally-maintained energies equal a from-scratch
+        # recomputation (floating-point exactly is too strong across the
+        # different reduction, so compare to double rounding).
+        sizes, reads, seed = [7, 5], 4, 3
+        padded_fields, symmetric, mask, size_array = _problem_batch(sizes, seed + 1000)
+        state, local, children, extras = _sa_state(
+            sizes, reads, seed, padded_fields, symmetric, track=True
+        )
+        sa_sweeps(
+            state,
+            local,
+            symmetric,
+            mask,
+            size_array,
+            children,
+            SCHEDULES["anneal"],
+            implementation="vectorized",
+            spins_per_step=3,
+            **extras,
+        )
+        recomputed = 0.5 * (
+            np.einsum("bnr,bnr->br", state, initial_local_fields(padded_fields, symmetric, state))
+            + np.einsum("bnr,bn->br", state, padded_fields)
+        )
+        assert np.allclose(extras["energies"], recomputed, atol=1e-9)
+        assert np.all(extras["best_energies"] <= extras["energies"] + 1e-12)
+
+    def test_padding_lanes_never_move(self):
+        state, local, _ = _run_sa("vectorized", [3, 9], 4, 11, SCHEDULES["anneal"], 4)
+        assert np.all(state[0, 3:] == 1.0)
+
+    @needs_numba
+    @pytest.mark.parametrize("schedule_key", sorted(SCHEDULES))
+    @pytest.mark.parametrize("chunk", [2, DEFAULT_SPINS_PER_STEP])
+    def test_numba_matches_reference(self, schedule_key, chunk):
+        schedule = SCHEDULES[schedule_key]
+        ref = _run_sa("reference", [7, 3, 10], 4, 7, schedule, chunk)
+        jit = _run_sa("numba", [7, 3, 10], 4, 7, schedule, chunk)
+        assert np.array_equal(ref[0], jit[0])
+        assert np.array_equal(ref[1], jit[1])
+
+
+class TestSVMCEquivalence:
+    """vectorized (and numba) SVMC kernels are bitwise-identical to reference."""
+
+    @pytest.mark.parametrize("size_key", sorted(SIZE_SETS))
+    @pytest.mark.parametrize("schedule_key", sorted(SCHEDULES))
+    @pytest.mark.parametrize("reads", [1, 4])
+    @pytest.mark.parametrize("chunk", [1, 4, DEFAULT_SPINS_PER_STEP])
+    def test_vectorized_matches_reference(self, size_key, schedule_key, reads, chunk):
+        sizes, schedule = SIZE_SETS[size_key], SCHEDULES[schedule_key]
+        ref = _run_svmc("reference", sizes, reads, 7, schedule, chunk)
+        vec = _run_svmc("vectorized", sizes, reads, 7, schedule, chunk)
+        for reference, candidate in zip(ref, vec):
+            assert np.array_equal(reference, candidate)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("uniform_fraction", [0.0, 0.3])
+    def test_seed_and_mix_sweep(self, seed, uniform_fraction):
+        ref = _run_svmc(
+            "reference", [8, 5], 3, seed, SCHEDULES["anneal"], 4,
+            uniform_fraction=uniform_fraction,
+        )
+        vec = _run_svmc(
+            "vectorized", [8, 5], 3, seed, SCHEDULES["anneal"], 4,
+            uniform_fraction=uniform_fraction,
+        )
+        for reference, candidate in zip(ref, vec):
+            assert np.array_equal(reference, candidate)
+
+    def test_state_invariants(self):
+        theta, cosines, sines, _ = _run_svmc(
+            "vectorized", [4, 10], 5, 13, SCHEDULES["anneal"], 4
+        )
+        assert np.all((theta >= 0.0) & (theta <= np.pi))
+        # cos/sin caches track the angles (sin via sqrt(1-cos^2)).
+        assert np.allclose(cosines, np.cos(theta), atol=1e-12)
+        assert np.allclose(sines, np.sqrt(1.0 - np.cos(theta) ** 2), atol=1e-12)
+        # Padding rotors of the first (size-4) instance stay at theta = 0.
+        assert np.all(theta[0, 4:] == 0.0)
+
+    @needs_numba
+    @pytest.mark.parametrize("schedule_key", sorted(SCHEDULES))
+    @pytest.mark.parametrize("chunk", [2, DEFAULT_SPINS_PER_STEP])
+    def test_numba_matches_reference(self, schedule_key, chunk):
+        schedule = SCHEDULES[schedule_key]
+        ref = _run_svmc("reference", [7, 3, 10], 4, 7, schedule, chunk)
+        jit = _run_svmc("numba", [7, 3, 10], 4, 7, schedule, chunk)
+        for reference, candidate in zip(ref, jit):
+            assert np.array_equal(reference, candidate)
+
+
+def _toy_qubo(seed, size=8):
+    rng = np.random.default_rng(seed)
+    matrix = np.triu(rng.normal(size=(size, size)))
+    return QUBOModel(matrix)
+
+
+def _toy_ising(seed, size=8):
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.normal(size=(size, size)), 1)
+    return IsingModel(fields=rng.normal(size=size), couplings=upper)
+
+
+SOLVER_LEVEL_KERNELS = ["reference", pytest.param("numba", marks=needs_numba)]
+
+
+class TestSolverLevelEquivalence:
+    """End-to-end runs agree bitwise across REPRO_KERNEL settings."""
+
+    @pytest.mark.parametrize("kernel", SOLVER_LEVEL_KERNELS)
+    def test_classical_sa(self, monkeypatch, kernel):
+        qubos = [_toy_qubo(seed) for seed in range(3)]
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        solver = SimulatedAnnealingSolver(num_sweeps=30)
+        baseline = solver.solve_batch(qubos, rng=0)
+        monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+        candidate = solver.solve_batch(qubos, rng=0)
+        for expected, actual in zip(baseline, candidate):
+            assert np.array_equal(expected.assignment, actual.assignment)
+            assert expected.energy == actual.energy
+
+    @pytest.mark.parametrize("kernel", SOLVER_LEVEL_KERNELS)
+    @pytest.mark.parametrize("backend_cls", [
+        ScheduleDrivenAnnealingBackend, SpinVectorMonteCarloBackend,
+    ])
+    def test_anneal_backends(self, monkeypatch, kernel, backend_cls):
+        ising = _toy_ising(4)
+        functions = AnnealingFunctions()
+        schedule = forward_anneal_schedule(1.0)
+        backend = backend_cls()
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        baseline = backend.run(
+            ising.fields, ising.couplings, schedule, 6, functions, 0.05,
+            rng=np.random.default_rng(2),
+        )
+        monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+        candidate = backend.run(
+            ising.fields, ising.couplings, schedule, 6, functions, 0.05,
+            rng=np.random.default_rng(2),
+        )
+        assert np.array_equal(baseline, candidate)
+
+
+class TestDrawDiscipline:
+    """Child-RNG consumption is invariant to batching, chunking and reads."""
+
+    @pytest.mark.parametrize("backend_cls", [
+        ScheduleDrivenAnnealingBackend, SpinVectorMonteCarloBackend,
+    ])
+    def test_single_run_is_a_batch_of_one(self, backend_cls):
+        ising = _toy_ising(9)
+        functions = AnnealingFunctions()
+        schedule = forward_anneal_schedule(1.0)
+        backend = backend_cls()
+        single = backend.run(
+            ising.fields, ising.couplings, schedule, 5, functions, 0.05,
+            rng=np.random.default_rng(3),
+        )
+        batched = backend.run_batch(
+            [ising.fields], [ising.couplings], schedule, 5, functions, 0.05,
+            rng=[np.random.default_rng(3)],
+        )
+        assert np.array_equal(single, batched[0])
+
+    @pytest.mark.parametrize("backend_cls", [
+        ScheduleDrivenAnnealingBackend, SpinVectorMonteCarloBackend,
+    ])
+    def test_batch_grouping_is_immaterial(self, backend_cls):
+        # Lane b of a ragged batch equals a solo run with the same child:
+        # padding other instances to a larger common size must not change
+        # instance b's draws or dynamics.
+        isings = [_toy_ising(s, size=n) for s, n in [(0, 5), (1, 9), (2, 3)]]
+        functions = AnnealingFunctions()
+        schedule = forward_anneal_schedule(1.0)
+        backend = backend_cls()
+        batched = backend.run_batch(
+            [i.fields for i in isings],
+            [i.couplings for i in isings],
+            schedule, 4, functions, 0.05,
+            rng=[np.random.default_rng(100 + b) for b in range(3)],
+        )
+        for b, ising in enumerate(isings):
+            solo = backend.run(
+                ising.fields, ising.couplings, schedule, 4, functions, 0.05,
+                rng=np.random.default_rng(100 + b),
+            )
+            assert np.array_equal(solo, batched[b])
+
+    def test_classical_solver_batch_grouping(self):
+        qubos = [_toy_qubo(seed, size=4 + seed) for seed in range(3)]
+        solver = SimulatedAnnealingSolver(num_sweeps=25)
+        batched = solver.solve_batch(qubos, rng=5)
+        children = spawn_rngs(5, 3)
+        for qubo, child, expected in zip(qubos, children, batched):
+            solo = solver.solve(qubo, rng=child)
+            assert np.array_equal(solo.assignment, expected.assignment)
+            assert solo.energy == expected.energy
+
+    def test_chunking_consumes_no_extra_draws(self):
+        # The per-sweep blocks are drawn up front, so spins_per_step affects
+        # dynamics only through chunk boundaries — never draw consumption:
+        # follower draws after the kernel are identical for any chunking.
+        followers = []
+        for chunk in (1, 3, DEFAULT_SPINS_PER_STEP):
+            padded_fields, symmetric, mask, sizes = _problem_batch([6, 4], 99)
+            state, local, children, _ = _sa_state([6, 4], 3, 21, padded_fields, symmetric)
+            sa_sweeps(
+                state, local, symmetric, mask, sizes, children,
+                SCHEDULES["anneal"], implementation="vectorized",
+                spins_per_step=chunk,
+            )
+            followers.append(np.stack([child.random(4) for child in children]))
+        assert np.array_equal(followers[0], followers[1])
+        assert np.array_equal(followers[1], followers[2])
+
+    def test_num_reads_never_shifts_downstream_draws(self):
+        # The sampler hands the kernel a *spawned* child, so read count —
+        # which scales the kernel's internal consumption — cannot shift any
+        # draw made later from the sampler's own stream.  Mirrors
+        # test_fading's constant-consumption-across-Doppler test.
+        ising = _toy_ising(17)
+        schedule = forward_anneal_schedule(1.0)
+        second_calls = []
+        for first_reads in (2, 40):
+            sampler = QuantumAnnealerSimulator(seed=123)
+            sampler.sample_ising(ising, schedule, num_reads=first_reads)
+            follow_up = sampler.sample_ising(ising, schedule, num_reads=6)
+            second_calls.append(
+                np.array([record.assignment for record in follow_up.records])
+            )
+        assert np.array_equal(second_calls[0], second_calls[1])
+
+    def test_reverse_anneal_paths_agree_too(self):
+        # Reverse annealing threads initial states through the kernels; the
+        # reference implementation must agree there as well.
+        ising = _toy_ising(6, size=6)
+        functions = AnnealingFunctions()
+        schedule = reverse_anneal_schedule(0.6, 1.0, 1.0)
+        initial = np.array([1, -1, 1, 1, -1, -1], dtype=np.int8)
+        results = {}
+        for implementation in ("vectorized", "reference"):
+            previous = os.environ.get(KERNEL_ENV_VAR)
+            os.environ[KERNEL_ENV_VAR] = implementation
+            try:
+                results[implementation] = ScheduleDrivenAnnealingBackend().run(
+                    ising.fields, ising.couplings, schedule, 4, functions, 0.05,
+                    initial_spins=initial, rng=np.random.default_rng(8),
+                )
+            finally:
+                if previous is None:
+                    del os.environ[KERNEL_ENV_VAR]
+                else:
+                    os.environ[KERNEL_ENV_VAR] = previous
+        assert np.array_equal(results["vectorized"], results["reference"])
