@@ -1,0 +1,69 @@
+"""Shared benchmark artifact emission: text table + machine-readable JSON.
+
+Every benchmark archives its formatted table under ``benchmarks/output/`` so
+runs can be diffed by eye; :func:`emit_report` additionally writes a
+``<name>.json`` next to each ``<name>.txt`` carrying the structured rows the
+table was rendered from, so the nightly workflow uploads trend points the
+planned results dashboard can aggregate without re-parsing text tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Any, Optional
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def to_jsonable(value: Any) -> Any:
+    """Reduce benchmark data (dataclasses, numpy, nested containers) to JSON.
+
+    Non-finite floats become strings (JSON has no Inf/NaN) and anything
+    unrecognised falls back to ``repr`` — artifact emission must never make a
+    benchmark fail.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if hasattr(value, "item") and not hasattr(value, "__len__"):  # numpy scalar
+        return to_jsonable(value.item())
+    if hasattr(value, "tolist"):  # numpy array
+        return to_jsonable(value.tolist())
+    return repr(value)
+
+
+def emit_report(
+    directory: pathlib.Path, name: str, table: str, data: Optional[Any] = None
+) -> None:
+    """Print ``table``, archive it as ``<name>.txt``, and ``data`` as JSON.
+
+    ``data`` is the benchmark's structured result (rows, series, dataclass
+    reports); when omitted only the text artifact is written, so benches
+    migrate to structured emission incrementally.
+    """
+    directory.mkdir(exist_ok=True)
+    print()
+    print(table)
+    (directory / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    if data is not None:
+        payload = {
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "benchmark": name,
+            "data": to_jsonable(data),
+        }
+        (directory / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

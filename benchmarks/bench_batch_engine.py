@@ -134,7 +134,7 @@ def test_batch_engine_throughput(benchmark, report_writer):
     from conftest import run_once
 
     result = run_once(benchmark, run_comparison)
-    report_writer("batch_engine", format_report(result))
+    report_writer("batch_engine", format_report(result), data=result)
     # The batched kernel must be a faithful reimplementation...
     assert result["bitwise_identical"]
     # ...and the acceptance bar: at least 3x throughput at batch size 32.

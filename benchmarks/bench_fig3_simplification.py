@@ -14,7 +14,7 @@ from repro.experiments import Figure3Config, format_figure3_table, run_figure3
 def test_figure3_simplification(benchmark, report_writer):
     config = Figure3Config(instances_per_point=5)
     rows = run_once(benchmark, run_figure3, config)
-    report_writer("figure3_simplification", format_figure3_table(rows))
+    report_writer("figure3_simplification", format_figure3_table(rows), data=rows)
 
     # Shape check (paper): small problems are frequently simplified...
     small = [row for row in rows if row.num_variables <= 8]

@@ -15,7 +15,7 @@ from repro.experiments import Figure7Config, format_figure7_table, run_figure7
 def test_figure7_initial_state_quality(benchmark, report_writer):
     config = Figure7Config(num_reads=500, candidates_per_bin=3)
     rows = run_once(benchmark, run_figure7, config)
-    report_writer("figure7_initial_state", format_figure7_table(rows))
+    report_writer("figure7_initial_state", format_figure7_table(rows), data=rows)
 
     assert len(rows) >= 3, "enough dE_IS% bins must be populated to see the trend"
 

@@ -25,7 +25,7 @@ def _best(rows, method):
 def test_figure8_tts_sweep(benchmark, report_writer):
     config = Figure8Config(num_reads=500)
     rows = run_once(benchmark, run_figure8, config)
-    report_writer("figure8_tts_sweep", format_figure8_table(rows))
+    report_writer("figure8_tts_sweep", format_figure8_table(rows), data=rows)
 
     ra_rows = sorted(
         (row for row in rows if row.method == "RA-greedy"), key=lambda row: row.switch_s

@@ -19,7 +19,7 @@ from repro.experiments import HeadlineConfig, format_headline_report, run_headli
 def test_headline_speedup(benchmark, report_writer):
     config = HeadlineConfig(num_reads=600)
     result = run_once(benchmark, run_headline, config)
-    report_writer("headline_speedup", format_headline_report(result))
+    report_writer("headline_speedup", format_headline_report(result), data=result)
 
     # The hybrid must beat the FA baseline on the typical instance...
     assert result.median_success_ratio >= 2.0
@@ -40,12 +40,10 @@ def test_headline_speedup(benchmark, report_writer):
 # benchmark measures sweeps/sec of the new SA and SVMC kernels against the
 # preserved legacy dynamics at the paper-relevant problem size (N = 32,
 # i.e. 8-user 16-QAM) and asserts the >= 10x gate at paper-scale reads.
-# Alongside the formatted table it archives a machine-readable JSON record
-# (benchmarks/output/kernel_throughput.json) that the nightly workflow
-# uploads, giving a sweeps/sec trend across runs.
+# Alongside the formatted table the report writer archives a
+# machine-readable JSON record (benchmarks/output/kernel_throughput.json)
+# that the nightly workflow uploads, giving a sweeps/sec trend across runs.
 
-import json
-import pathlib
 import time
 
 import numpy as np
@@ -174,11 +172,7 @@ def format_kernel_throughput(results):
 
 def test_kernel_sweep_throughput(benchmark, report_writer):
     results = run_once(benchmark, measure_kernel_throughput)
-    report_writer("kernel_throughput", format_kernel_throughput(results))
-    output_dir = pathlib.Path(__file__).parent / "output"
-    (output_dir / "kernel_throughput.json").write_text(
-        json.dumps(results, indent=2, sort_keys=True) + "\n"
-    )
+    report_writer("kernel_throughput", format_kernel_throughput(results), data=results)
 
     # PR 6 acceptance gate: the replica-parallel SA kernel must beat the
     # legacy per-position sweep loop by >= 10x at paper-scale reads.

@@ -19,7 +19,7 @@ from repro.experiments import (
 def test_initializer_ablation(benchmark, report_writer):
     config = InitializerAblationConfig(num_reads=400)
     rows = run_once(benchmark, run_initializer_ablation, config)
-    report_writer("initializer_ablation", format_initializer_table(rows))
+    report_writer("initializer_ablation", format_initializer_table(rows), data=rows)
 
     by_name = {row.initializer: row for row in rows}
     assert set(by_name) == set(config.initializers)

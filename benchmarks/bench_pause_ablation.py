@@ -15,7 +15,7 @@ from repro.experiments import PauseAblationConfig, format_pause_table, run_pause
 def test_pause_ablation(benchmark, report_writer):
     config = PauseAblationConfig(num_reads=500)
     rows = run_once(benchmark, run_pause_ablation, config)
-    report_writer("pause_ablation", format_pause_table(rows))
+    report_writer("pause_ablation", format_pause_table(rows), data=rows)
 
     ra_rows = {row.pause_duration_us: row for row in rows if row.method == "RA-greedy"}
     fa_rows = {row.pause_duration_us: row for row in rows if row.method == "FA"}

@@ -22,7 +22,7 @@ def test_pipeline_throughput(benchmark, report_writer):
         evaluate_solutions=True,
     )
     result = run_once(benchmark, run_pipeline_study, config)
-    report_writer("pipeline_throughput", format_pipeline_table(result))
+    report_writer("pipeline_throughput", format_pipeline_table(result), data=result)
 
     # Pipelining can only help: throughput at least as high, latency no worse.
     assert result.throughput_gain >= 1.0 - 1e-9

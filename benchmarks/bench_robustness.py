@@ -154,7 +154,7 @@ def test_robustness_sweep(benchmark, report_writer):
     from conftest import run_once
 
     result = run_once(benchmark, run_comparison)
-    report_writer("robustness", format_report(result))
+    report_writer("robustness", format_report(result), data=result)
     assert not _gate_failures(result)
 
 

@@ -175,7 +175,7 @@ def test_flash_crowd_autoscaling(benchmark, report_writer):
     from conftest import run_once
 
     result = run_once(benchmark, run_flash_crowd_comparison)
-    report_writer("scenarios", format_report(result))
+    report_writer("scenarios", format_report(result), data=result)
     assert not _gate_failures(result)
 
 

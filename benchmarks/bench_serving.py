@@ -154,7 +154,7 @@ def test_serving_capacity(benchmark, report_writer):
     from conftest import run_once
 
     result = run_once(benchmark, run_capacity_sweep)
-    report_writer("serving", format_report(result))
+    report_writer("serving", format_report(result), data=result)
     assert result["serialized_sustained"] > 0.0
     assert result["gain"] >= REQUIRED_GAIN
 

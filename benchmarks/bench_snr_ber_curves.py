@@ -16,7 +16,7 @@ def test_snr_ber_curves(benchmark, report_writer):
         snr_grid_db=(0.0, 6.0, 12.0, 18.0), channel_uses_per_point=6, num_reads=120
     )
     rows = run_once(benchmark, run_snr_study, config)
-    report_writer("snr_ber_curves", format_snr_table(rows))
+    report_writer("snr_ber_curves", format_snr_table(rows), data=rows)
 
     by_snr = {row.snr_db: row for row in rows}
     lowest, highest = min(by_snr), max(by_snr)

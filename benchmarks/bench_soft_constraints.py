@@ -19,7 +19,7 @@ from repro.experiments import (
 def test_soft_constraint_study(benchmark, report_writer):
     config = SoftConstraintConfig(num_reads=400, strengths=(0.0, 0.5, 2.0, 8.0))
     rows = run_once(benchmark, run_soft_constraint_study, config)
-    report_writer("soft_constraints", format_soft_constraint_table(rows))
+    report_writer("soft_constraints", format_soft_constraint_table(rows), data=rows)
 
     baseline = next(row for row in rows if row.knowledge == "none")
     assert baseline.optimum_preserved

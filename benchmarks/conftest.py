@@ -12,18 +12,23 @@ import pathlib
 
 import pytest
 
+from _emit import emit_report
+
 OUTPUT_DIRECTORY = pathlib.Path(__file__).parent / "output"
 
 
 @pytest.fixture(scope="session")
 def report_writer():
-    """Return a callable that prints and archives a formatted report."""
+    """Return a callable that prints and archives a formatted report.
+
+    ``data`` (optional) is the structured result behind the table; when
+    given, a machine-readable ``<name>.json`` is archived next to the text
+    artifact (see :mod:`_emit`).
+    """
     OUTPUT_DIRECTORY.mkdir(exist_ok=True)
 
-    def _write(name: str, table: str) -> None:
-        print()
-        print(table)
-        (OUTPUT_DIRECTORY / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    def _write(name: str, table: str, data=None) -> None:
+        emit_report(OUTPUT_DIRECTORY, name, table, data)
 
     return _write
 

@@ -21,6 +21,21 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cli import build_parser  # noqa: E402
 
+#: Subsystem documents that must exist and be linked from docs/index.md.
+#: Growing a documented subsystem?  Add its page here so the index and the
+#: page itself cannot silently disappear.
+REQUIRED_DOCS = (
+    "architecture.md",
+    "channels.md",
+    "cli.md",
+    "experiments.md",
+    "kernels.md",
+    "parallel.md",
+    "scenarios.md",
+    "serving.md",
+    "telemetry.md",
+)
+
 
 def cli_surface() -> list:
     """Every subcommand and option flag the parser registers."""
@@ -35,7 +50,27 @@ def cli_surface() -> list:
     return tokens
 
 
+def check_required_docs() -> list:
+    """Every registered subsystem page must exist and be indexed."""
+    problems = []
+    index_path = REPO_ROOT / "docs" / "index.md"
+    index = index_path.read_text(encoding="utf-8") if index_path.exists() else ""
+    if not index:
+        problems.append("docs/index.md is missing")
+    for name in REQUIRED_DOCS:
+        if not (REPO_ROOT / "docs" / name).exists():
+            problems.append(f"docs/{name} is missing")
+        elif f"({name})" not in index:
+            problems.append(f"docs/index.md does not link docs/{name}")
+    return problems
+
+
 def main() -> int:
+    problems = check_required_docs()
+    if problems:
+        print("FAIL: " + "; ".join(problems), file=sys.stderr)
+        return 1
+
     doc_path = REPO_ROOT / "docs" / "cli.md"
     if not doc_path.exists():
         print(f"FAIL: {doc_path} does not exist", file=sys.stderr)
@@ -54,7 +89,10 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"doc-drift check: {len(cli_surface())} CLI tokens all present in docs/cli.md")
+    print(
+        f"doc-drift check: {len(cli_surface())} CLI tokens all present in "
+        f"docs/cli.md; {len(REQUIRED_DOCS)} subsystem docs present and indexed"
+    )
     return 0
 
 

@@ -1,0 +1,86 @@
+"""Render a human-readable report from an exported telemetry trace.
+
+Reads the ``trace.jsonl`` written by ``repro-experiments ... --telemetry``
+(plus the optional ``metrics.prom`` next to it) and prints the per-stage
+latency breakdown, the top-N slowest spans and the counter totals::
+
+    PYTHONPATH=src python scripts/telemetry_report.py telemetry-out/trace.jsonl
+    PYTHONPATH=src python scripts/telemetry_report.py telemetry-out   # directory form
+    PYTHONPATH=src python scripts/telemetry_report.py --validate telemetry-out
+
+``--validate`` checks every record against the trace schema and exits
+non-zero on the first violation — the mode the CI smoke step runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry import exporters  # noqa: E402
+
+
+def _resolve_trace(path: pathlib.Path) -> pathlib.Path:
+    """Accept either the trace file itself or its containing directory."""
+    if path.is_dir():
+        return path / "trace.jsonl"
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarise (or validate) an exported telemetry trace."
+    )
+    parser.add_argument(
+        "trace",
+        type=pathlib.Path,
+        help="trace.jsonl file, or the --telemetry output directory holding it",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the slowest-span table (default: 10)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every record against the trace schema instead of summarising",
+    )
+    arguments = parser.parse_args(argv)
+    trace = _resolve_trace(arguments.trace)
+    if not trace.exists():
+        parser.error(f"no trace found at {trace}")
+
+    if arguments.validate:
+        try:
+            counts = exporters.validate_trace_file(trace)
+        except ValueError as error:
+            print(f"INVALID: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {trace} ({counts['span']} spans, {counts['event']} events, "
+            f"schema {exporters.TRACE_SCHEMA_VERSION})"
+        )
+        return 0
+
+    records = list(exporters.iter_trace_records(trace))
+    metrics_path = trace.parent / "metrics.prom"
+    metrics_text = (
+        metrics_path.read_text(encoding="utf-8") if metrics_path.exists() else None
+    )
+    print(
+        exporters.format_run_summary(records, metrics_text=metrics_text, top=arguments.top),
+        end="",
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

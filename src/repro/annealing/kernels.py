@@ -79,13 +79,15 @@ is what keeps experiment results invariant to batching and worker counts.
 
 from __future__ import annotations
 
+import functools
 import os
-import warnings
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
+from repro.telemetry.log import get_logger
 
 __all__ = [
     "KERNEL_ENV_VAR",
@@ -126,6 +128,8 @@ DEFAULT_SPINS_PER_STEP = 64
 #: (the classical SA solver); the other entries are scalars.
 SweepSettings = Sequence[Tuple[float, float, Union[float, np.ndarray], float]]
 
+_log = get_logger(__name__)
+
 _numba_fallback_warned = False
 
 
@@ -160,15 +164,104 @@ def active_kernel_name() -> str:
     if name == "numba" and not numba_available():
         global _numba_fallback_warned
         if not _numba_fallback_warned:
-            warnings.warn(
-                f"{KERNEL_ENV_VAR}=numba requested but numba is not importable; "
-                "falling back to the pure-numpy vectorized kernel",
-                RuntimeWarning,
-                stacklevel=2,
+            _log.warning(
+                "kernel.numba_fallback",
+                requested="numba",
+                used="vectorized",
+                reason="numba is not importable",
             )
             _numba_fallback_warned = True
         return "vectorized"
     return name
+
+
+# --------------------------------------------------------------------- #
+# Telemetry instrumentation (timing wrappers around the kernel entry points)
+# --------------------------------------------------------------------- #
+
+
+def _instrumented_call(tel, family, implementation, kernel, args, kwargs, sweeps, batch, reads):
+    """Run one kernel call under a wall span with throughput counters.
+
+    Only reached when telemetry is enabled; the timing wraps the call from
+    the *outside*, so the kernel's arithmetic and draw sequence are untouched
+    and results stay bitwise-identical to the uninstrumented path.
+    """
+    labels = {"family": family, "implementation": implementation}
+    tel.registry.counter("repro_kernel_calls_total", **labels).inc()
+    tel.registry.counter("repro_kernel_sweeps_total", **labels).inc(sweeps)
+    read_sweeps = sweeps * batch * reads
+    tel.registry.counter("repro_kernel_read_sweeps_total", **labels).inc(read_sweeps)
+    with tel.tracer.span(
+        f"kernel.{family}",
+        implementation=implementation,
+        sweeps=sweeps,
+        batch=batch,
+        reads=reads,
+    ) as span:
+        result = kernel(*args, **kwargs)
+    seconds = span.duration_us / 1e6
+    tel.registry.counter("repro_kernel_seconds_total", **labels).inc(seconds)
+    if seconds > 0.0:
+        # The span object stays live in the buffer, so the post-call
+        # throughput lands in the exported record.
+        span.attrs["read_sweeps_per_s"] = read_sweeps / seconds
+    return result
+
+
+def _dispatch_instrumented(family, implementation, kernel, args, kwargs):
+    """Instrument one replica-parallel kernel call when telemetry is enabled.
+
+    Geometry comes from the leading state array ``(batch, max_size, reads)``
+    and the trailing ``settings`` sequence (one row per sweep); fully-keyword
+    calls skip instrumentation rather than guess at argument positions.
+    """
+    tel = telemetry.active()
+    if tel is None or not args:
+        return kernel(*args, **kwargs)
+    settings = kwargs["settings"] if "settings" in kwargs else args[-1]
+    return _instrumented_call(
+        tel,
+        family,
+        implementation,
+        kernel,
+        args,
+        kwargs,
+        sweeps=len(settings),
+        batch=args[0].shape[0],
+        reads=args[0].shape[-1],
+    )
+
+
+def _instrument_legacy(family):
+    """Decorator timing the preserved legacy kernels under telemetry.
+
+    The legacy state layout is ``(batch, reads, max_size)``, hence the
+    different ``reads`` axis from :func:`_dispatch_instrumented`.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tel = telemetry.active()
+            if tel is None or not args:
+                return fn(*args, **kwargs)
+            settings = kwargs["settings"] if "settings" in kwargs else args[-1]
+            return _instrumented_call(
+                tel,
+                family,
+                "legacy",
+                fn,
+                args,
+                kwargs,
+                sweeps=len(settings),
+                batch=args[0].shape[0],
+                reads=args[0].shape[1],
+            )
+
+        return wrapper
+
+    return decorate
 
 
 # --------------------------------------------------------------------- #
@@ -504,9 +597,10 @@ def sa_sweeps(*args, implementation: str = "vectorized", **kwargs) -> np.ndarray
             f"unknown replica-parallel SA kernel {implementation!r}; "
             f"choose one of {', '.join(_SA_IMPLEMENTATIONS)}"
         ) from None
-    return kernel(*args, **kwargs)
+    return _dispatch_instrumented("sa", implementation, kernel, args, kwargs)
 
 
+@_instrument_legacy("sa")
 def sa_sweeps_legacy(
     spins: np.ndarray,
     local: np.ndarray,
@@ -871,9 +965,10 @@ def svmc_sweeps(*args, implementation: str = "vectorized", **kwargs) -> np.ndarr
             f"unknown replica-parallel SVMC kernel {implementation!r}; "
             f"choose one of {', '.join(_SVMC_IMPLEMENTATIONS)}"
         ) from None
-    return kernel(*args, **kwargs)
+    return _dispatch_instrumented("svmc", implementation, kernel, args, kwargs)
 
 
+@_instrument_legacy("svmc")
 def svmc_sweeps_legacy(
     theta: np.ndarray,
     cosines: np.ndarray,

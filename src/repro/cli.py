@@ -31,16 +31,26 @@ serial run at any worker count.  Shard results are cached on disk under
 ``--cache-dir`` (default ``.repro-cache``) so a re-run with one changed
 point recomputes only that point; ``--no-cache`` disables the cache.
 Experiments without a sharded driver ignore all three flags.
+
+``--telemetry[=DIR]`` records an execution trace (sim-time job spans, kernel
+timings, cache counters) and exports ``trace.jsonl``, ``metrics.prom`` and
+``summary.txt`` into DIR on exit — results are bitwise-identical with or
+without it (see ``docs/telemetry.md``).  ``--verbose/-v`` and ``--quiet/-q``
+control structured progress logging.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import pathlib
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.parallel import ResultCache
+from repro.telemetry import exporters
+from repro.telemetry.log import configure_logging, get_logger
 
 from repro.experiments import (
     Figure3Config,
@@ -85,6 +95,11 @@ from repro.experiments import (
 )
 
 __all__ = ["main"]
+
+_log = get_logger(__name__)
+
+#: Default output directory of ``--telemetry`` when no path is given.
+DEFAULT_TELEMETRY_DIR = "telemetry-out"
 
 
 def _select(config_class, scale: str, batch_size: Optional[int] = None):
@@ -256,7 +271,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the content-addressed shard-result cache "
         "(default: .repro-cache)",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=DEFAULT_TELEMETRY_DIR,
+        default=None,
+        metavar="DIR",
+        help="record an execution trace and metrics, exporting trace.jsonl, "
+        "metrics.prom and summary.txt into DIR (default: "
+        f"{DEFAULT_TELEMETRY_DIR}); results are bitwise-identical with or "
+        "without telemetry",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v: progress, -vv: per-shard detail)",
+    )
+    parser.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="only log errors",
+    )
     return parser
+
+
+def _export_telemetry(session: telemetry.TelemetrySession, directory: str) -> None:
+    """Write the run's trace, metrics snapshot and summary into ``directory``."""
+    out = pathlib.Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    records = exporters.write_trace_jsonl(session.tracer, out / "trace.jsonl")
+    metrics_text = exporters.prometheus_text(session.registry)
+    (out / "metrics.prom").write_text(metrics_text, encoding="utf-8")
+    summary = exporters.format_run_summary(
+        [exporters.span_to_record(span) for span in session.tracer.records],
+        metrics_text=metrics_text,
+    )
+    (out / "summary.txt").write_text(summary, encoding="utf-8")
+    _log.info(
+        "telemetry.exported",
+        directory=str(out),
+        records=records,
+        dropped=session.tracer.dropped,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -267,13 +326,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--batch-size must be positive, got {arguments.batch_size}")
     if arguments.workers is not None and arguments.workers < 1:
         parser.error(f"--workers must be at least 1, got {arguments.workers}")
+    if arguments.quiet and arguments.verbose:
+        parser.error("--quiet and --verbose are mutually exclusive")
     scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
+    configure_logging(-1 if arguments.quiet else arguments.verbose)
 
+    session = telemetry.enable() if arguments.telemetry is not None else None
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
-    for name in names:
-        print(_EXPERIMENTS[name](scale, arguments.batch_size, arguments.workers, cache))
-        print()
+    try:
+        for name in names:
+            print(_EXPERIMENTS[name](scale, arguments.batch_size, arguments.workers, cache))
+            print()
+    finally:
+        # Export whatever was recorded even when an experiment raises —
+        # a partial trace is exactly what you want when debugging a failure.
+        if session is not None:
+            _export_telemetry(session, arguments.telemetry)
+            telemetry.disable()
     return 0
 
 

@@ -32,8 +32,12 @@ from repro.experiments.instances import (
 )
 from repro.metrics.quality import delta_e_distribution
 from repro.metrics.statistics import histogram_percentiles
+from repro import telemetry
 from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.telemetry.log import get_logger
 from repro.utils.rng import spawn_rngs, stable_seed
+
+_log = get_logger(__name__)
 
 __all__ = [
     "Figure6Config",
@@ -290,9 +294,11 @@ def run_figure6(
             for num_users, modulation in _selected_configurations(config)
             for entry in _figure6_configuration(config, num_users, modulation, sampler)
         ]
-    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
-        figure6_tasks(config)
-    )
+    tasks = figure6_tasks(config)
+    _log.info("fig6.start", shards=len(tasks), workers=workers or 1)
+    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(tasks)
+    for task, shard in zip(tasks, shards):
+        telemetry.emit_progress("fig6", task.key[1:], series=len(shard))
     return [entry for shard in shards for entry in shard]
 
 

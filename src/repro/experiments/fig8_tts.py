@@ -36,8 +36,12 @@ from repro.hybrid.parameters import (
     sweep_switch_point_batch,
 )
 from repro.metrics.quality import delta_e_percent
+from repro import telemetry
 from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.telemetry.log import get_logger
 from repro.utils.rng import stable_seed
+
+_log = get_logger(__name__)
 
 __all__ = [
     "Figure8Config",
@@ -345,9 +349,11 @@ def run_figure8(
                 rows.extend(_fr_rows(config, instance, annealer, switch_s))
         return rows
 
-    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
-        figure8_tasks(config)
-    )
+    tasks = figure8_tasks(config)
+    _log.info("fig8.start", shards=len(tasks), workers=workers or 1)
+    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(tasks)
+    for task, shard in zip(tasks, shards):
+        telemetry.emit_progress("fig8", task.key[1:], rows=len(shard))
     return [row for shard in shards for row in shard]
 
 

@@ -26,6 +26,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.hybrid.pipeline import HybridPipelineSimulator, PipelineReport
 from repro.parallel import ParallelRunner, ResultCache, ShardTask
@@ -34,8 +35,11 @@ from repro.serving.pool import BackendPool
 from repro.serving.report import ServingReport, format_serving_report
 from repro.serving.simulator import RANServingSimulator
 from repro.serving.workload import generate_serving_jobs, uniform_cell_profiles
+from repro.telemetry.log import get_logger
 from repro.utils.rng import stable_seed
 from repro.wireless.mimo import MIMOConfig
+
+_log = get_logger(__name__)
 
 __all__ = [
     "LoadStudyConfig",
@@ -251,12 +255,17 @@ def run_load_study(
         if factor <= 0:
             raise ConfigurationError(f"load factors must be positive, got {factor}")
 
+    _log.info("load_study.start", points=len(config.load_factors), workers=workers or 1)
     shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
         load_study_tasks(config)
     )
 
     rows: List[LoadStudyRow] = []
     for load_factor, (serialized, pipelined, pooled) in zip(config.load_factors, shards):
+        telemetry.emit_progress(
+            "load-study", load_factor, pooled_miss_rate=pooled.deadline_miss_rate or 0.0
+        )
+        _log.debug("load_study.point", load_factor=load_factor)
         rows.append(
             LoadStudyRow(
                 load_factor=load_factor,

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.exhaustive import ExhaustiveSolver
 from repro.classical.mmse import MMSEDetector
@@ -34,6 +35,7 @@ from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError
 from repro.hybrid.solver import HybridMIMODetector
 from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.telemetry.log import get_logger
 from repro.transform.mimo_to_qubo import is_optimum, mimo_to_qubo
 from repro.utils.batching import iter_batches
 from repro.utils.rng import ensure_rng, stable_seed
@@ -41,6 +43,8 @@ from repro.wireless.channel import effective_noise_variance
 from repro.wireless.fading import ChannelImpairments, FadingProcess
 from repro.wireless.metrics import bit_error_rate
 from repro.wireless.mimo import MIMOConfig, simulate_transmission
+
+_log = get_logger(__name__)
 
 __all__ = [
     "ROBUSTNESS_AXES",
@@ -340,7 +344,14 @@ def run_robustness_study(
     bitwise-identical to the serial path at any worker count) and ``cache``
     reuses point results across runs; see :mod:`repro.parallel`.
     """
-    return ParallelRunner(workers=workers, cache=cache).run_sharded(robustness_tasks(config))
+    tasks = robustness_tasks(config)
+    _log.info("robustness_study.start", points=len(tasks), workers=workers or 1)
+    rows = ParallelRunner(workers=workers, cache=cache).run_sharded(tasks)
+    for row in rows:
+        telemetry.emit_progress(
+            "robustness-study", (row.axis, row.value), hybrid_ber=row.hybrid_ber
+        )
+    return rows
 
 
 _AXIS_LABELS = {

@@ -26,8 +26,10 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.telemetry.log import get_logger
 from repro.serving.autoscale import (
     AutoscaleConfig,
     AutoscaleController,
@@ -41,6 +43,8 @@ from repro.serving.simulator import RANServingSimulator
 from repro.serving.workload import generate_serving_jobs, uniform_cell_profiles
 from repro.utils.rng import stable_seed
 from repro.wireless.mimo import MIMOConfig
+
+_log = get_logger(__name__)
 
 __all__ = [
     "ScenarioStudyConfig",
@@ -277,6 +281,7 @@ def run_scenario_study(
             f"static_workers must be at least 1, got {config.static_workers}"
         )
 
+    _log.info("scenario_study.start", scenarios=len(config.scenarios), workers=workers or 1)
     reports = ParallelRunner(workers=workers, cache=cache).run_sharded(
         scenario_study_tasks(config)
     )
@@ -285,6 +290,9 @@ def run_scenario_study(
     for position, name in enumerate(config.scenarios):
         static = reports[2 * position]
         autoscaled = reports[2 * position + 1]
+        telemetry.emit_progress(
+            "scenario-study", name, miss_rate=autoscaled.deadline_miss_rate or 0.0
+        )
         rows.append(
             ScenarioStudyRow(
                 scenario=name,

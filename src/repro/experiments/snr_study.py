@@ -21,14 +21,18 @@ from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.mmse import MMSEDetector
 from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError
+from repro import telemetry
 from repro.hybrid.solver import HybridMIMODetector
 from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.telemetry.log import get_logger
 from repro.transform.mimo_to_qubo import mimo_to_qubo
 from repro.utils.batching import iter_batches
 from repro.utils.rng import ensure_rng, stable_seed
 from repro.wireless.channel import RayleighFadingChannel
 from repro.wireless.metrics import bit_error_rate
 from repro.wireless.mimo import MIMOConfig, simulate_transmission
+
+_log = get_logger(__name__)
 
 __all__ = [
     "SNRStudyConfig",
@@ -216,9 +220,11 @@ def run_snr_study(
     """
     if sampler is not None:
         return [_snr_point(config, float(snr_db), sampler) for snr_db in config.snr_grid_db]
-    return ParallelRunner(workers=workers, cache=cache).run_sharded(
-        snr_study_tasks(config)
-    )
+    _log.info("snr_study.start", points=len(config.snr_grid_db), workers=workers or 1)
+    rows = ParallelRunner(workers=workers, cache=cache).run_sharded(snr_study_tasks(config))
+    for row in rows:
+        telemetry.emit_progress("snr-study", row.snr_db, hybrid_ber=row.hybrid_ber)
+    return rows
 
 
 def format_snr_table(rows: Sequence[SNRStudyRow]) -> str:

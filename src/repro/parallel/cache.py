@@ -32,9 +32,13 @@ from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
+from repro.telemetry.log import get_logger
 
 __all__ = ["ResultCache", "canonical_token", "task_fingerprint"]
+
+_log = get_logger(__name__)
 
 #: Bump to invalidate every existing cache entry (serialisation layout changes).
 CACHE_FORMAT_VERSION = 1
@@ -195,13 +199,18 @@ class ResultCache:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._write_disabled = False
 
     def _path(self, fingerprint: str) -> pathlib.Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.pkl"
 
-    def get(self, fingerprint: str) -> Tuple[bool, Optional[Any]]:
-        """Look up a fingerprint; returns ``(hit, value)`` and counts the outcome."""
+    def get(self, fingerprint: str, key: Optional[Any] = None) -> Tuple[bool, Optional[Any]]:
+        """Look up a fingerprint; returns ``(hit, value)`` and counts the outcome.
+
+        ``key`` is the human-readable shard identity (``ShardTask.key``),
+        used only to make the corrupt-entry warning actionable.
+        """
         path = self._path(fingerprint)
         try:
             with open(path, "rb") as handle:
@@ -209,16 +218,29 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return False, None
-        except Exception:
+        except Exception as error:
             # A corrupt pickle can raise nearly anything (ValueError,
             # KeyError, UnicodeDecodeError, ... from bad opcode streams): a
             # damaged or stale entry is a miss, not a crash; evict it so the
-            # recomputed result can take its place.
+            # recomputed result can take its place.  An eviction is never
+            # silent: it is counted here, surfaced through the telemetry
+            # registry, and logged with the shard key — repeated evictions
+            # mean a sick disk or a writer racing this cache.
             try:
                 path.unlink()
             except OSError:
                 pass
             self.misses += 1
+            self.evictions += 1
+            _log.warning(
+                "cache.evicted_corrupt_entry",
+                key="<unknown>" if key is None else key,
+                fingerprint=fingerprint[:12],
+                error=type(error).__name__,
+            )
+            tel = telemetry.active()
+            if tel is not None:
+                tel.registry.counter("repro_cache_evictions_total").inc()
             return False, None
         self.hits += 1
         return True, value
@@ -286,6 +308,7 @@ class ResultCache:
         return removed
 
     def reset_counters(self) -> None:
-        """Zero the hit/miss counters (entries on disk are untouched)."""
+        """Zero the hit/miss/eviction counters (entries on disk are untouched)."""
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

@@ -20,10 +20,14 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.parallel.cache import ResultCache, task_fingerprint
+from repro.telemetry.log import get_logger
 
 __all__ = ["ShardTask", "RunStats", "ParallelRunner"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -123,6 +127,7 @@ class ParallelRunner:
         self.last_run = stats
         if not tasks:
             return []
+        tel = telemetry.active()
 
         results: List[Any] = [None] * len(tasks)
         pending: List[int] = []
@@ -130,15 +135,20 @@ class ParallelRunner:
         if self.cache is not None:
             for index, task in enumerate(tasks):
                 fingerprints[index] = task.fingerprint()
-                hit, value = self.cache.get(fingerprints[index])
+                hit, value = self.cache.get(fingerprints[index], key=task.key)
                 if hit:
                     results[index] = value
                     stats.cache_hits += 1
+                    _log.debug("parallel.cache_hit", key=task.key)
                 else:
                     pending.append(index)
                     stats.cache_misses += 1
         else:
             pending = list(range(len(tasks)))
+        if tel is not None:
+            tel.registry.counter("repro_parallel_tasks_total").inc(len(tasks))
+            tel.registry.counter("repro_parallel_cache_hits_total").inc(stats.cache_hits)
+            tel.registry.counter("repro_parallel_cache_misses_total").inc(stats.cache_misses)
 
         stats.executed = len(pending)
         if pending:
@@ -153,8 +163,22 @@ class ParallelRunner:
                 self._run_pool(tasks, pending, results, min(effective, len(pending)), store)
             else:
                 for index in pending:
-                    results[index] = self._run_one(tasks[index])
+                    task = tasks[index]
+                    if tel is not None:
+                        with tel.tracer.span("parallel.shard", key=str(task.key)):
+                            results[index] = self._run_one(task)
+                    else:
+                        results[index] = self._run_one(task)
                     store(index, results[index])
+                    _log.debug("parallel.shard_done", key=task.key)
+        _log.info(
+            "parallel.run_sharded",
+            tasks=stats.tasks,
+            executed=stats.executed,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            workers=effective,
+        )
         return results
 
     @staticmethod
@@ -176,6 +200,12 @@ class ParallelRunner:
         workers: int,
         store: Callable[[int, Any], None],
     ) -> None:
+        # Telemetry enabled in *this* process does not propagate into pool
+        # workers (each child has its own disabled-by-default singleton), so
+        # shard-internal spans are lost under multiprocessing; the parent
+        # still records a completion event per shard.  Use serial mode when
+        # a full trace matters — results are bitwise-identical either way.
+        tel = telemetry.active()
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = {
                 executor.submit(tasks[index].fn, **dict(tasks[index].kwargs)): index
@@ -200,5 +230,8 @@ class ParallelRunner:
                     continue
                 results[index] = future.result()
                 store(index, results[index])
+                if tel is not None:
+                    tel.tracer.event("parallel.shard_done", key=str(tasks[index].key))
+                _log.debug("parallel.shard_done", key=tasks[index].key)
             if failure is not None:
                 raise failure

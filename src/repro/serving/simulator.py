@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.serving.autoscale import AutoscaleController, ElasticBackendPool
 from repro.serving.events import EventQueue
@@ -120,6 +121,10 @@ class RANServingSimulator:
         ids = [job.job_id for job in ordered]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("jobs must carry unique job_ids")
+        # One lookup per run; job-lifecycle spans are emitted post-hoc from
+        # the outcomes, so the event loop below carries no per-job telemetry
+        # cost and disabled mode is equivalent to the uninstrumented loop.
+        tel = telemetry.active()
 
         # Child generator j belongs to job j (keyed by sorted job id), so
         # solutions are independent of batching and scheduling order.
@@ -157,6 +162,20 @@ class RANServingSimulator:
             if autoscale_tick and self.autoscaler is not None:
                 pressured = sum(1 for job in queue if self._pressured(job, now))
                 action = self.autoscaler.step(now, queue, self.pool, pressured)
+                if tel is not None:
+                    active = self.pool.active_annealer_count
+                    tel.registry.gauge("repro_serving_queue_depth").set(len(queue))
+                    tel.registry.gauge("repro_serving_deadline_pressure").set(pressured)
+                    tel.registry.gauge("repro_serving_active_annealers").set(active)
+                    tel.tracer.event(
+                        "serving.autoscale",
+                        time_us=now,
+                        clock=telemetry.CLOCK_SIM,
+                        queue_depth=len(queue),
+                        pressured=pressured,
+                        active_annealers=active,
+                        action=action.action if action is not None else "hold",
+                    )
                 if action is not None and action.action == "scale-up":
                     # Wake the dispatcher the instant the warm-up completes;
                     # otherwise the new worker could idle until the next
@@ -193,12 +212,15 @@ class RANServingSimulator:
                     "autoscale_final_active": self.pool.active_annealer_count,
                 }
             )
-        return build_serving_report(
+        report = build_serving_report(
             outcomes,
             policy=self.policy.name,
             backend_utilization=self._utilization(outcomes),
             metadata=metadata,
         )
+        if tel is not None:
+            _emit_serving_telemetry(tel, report)
+        return report
 
     # ------------------------------------------------------------------ #
 
@@ -336,3 +358,88 @@ class RANServingSimulator:
                 )
             )
         return stats
+
+
+def _emit_serving_telemetry(tel: "telemetry.TelemetrySession", report: ServingReport) -> None:
+    """Emit per-job lifecycle spans and run-level metrics from a finished run.
+
+    Runs entirely *after* the event loop, on the completed outcome list —
+    every timestamp is simulation time already decided by the simulator, so
+    emission order cannot perturb scheduling, timing or RNG draws.  Per job:
+    a root ``serving.job`` span (arrival → completion) with ``serving.queue``
+    (arrival → service start) and ``serving.solve`` (service → completion)
+    children, which is exactly the queue→solve breakdown the run summary and
+    the acceptance test reconstruct.
+    """
+    run_index = tel.next_run_index()
+    policy = report.policy
+    jobs = tel.registry.counter("repro_serving_jobs_total", policy=policy)
+    misses = tel.registry.counter("repro_serving_deadline_misses_total", policy=policy)
+    demotions = tel.registry.counter("repro_serving_demotions_total", policy=policy)
+    latency = tel.registry.histogram("repro_serving_latency_us", policy=policy)
+    for outcome in report.outcomes:
+        jobs.inc()
+        latency.observe(outcome.latency_us)
+        job_span = tel.tracer.record_span(
+            "serving.job",
+            outcome.arrival_us,
+            outcome.finish_us,
+            clock=telemetry.CLOCK_SIM,
+            run_index=run_index,
+            job_id=outcome.job_id,
+            user_id=outcome.user_id,
+            cell_id=outcome.cell_id,
+            backend=outcome.backend,
+            backend_kind=outcome.backend_kind,
+            demoted=outcome.demoted,
+            batch_size=outcome.batch_size,
+            met_deadline=outcome.met_deadline,
+        )
+        tel.tracer.record_span(
+            "serving.queue",
+            outcome.arrival_us,
+            outcome.start_us,
+            clock=telemetry.CLOCK_SIM,
+            parent_id=job_span,
+            run_index=run_index,
+            job_id=outcome.job_id,
+        )
+        tel.tracer.record_span(
+            "serving.solve",
+            outcome.start_us,
+            outcome.finish_us,
+            clock=telemetry.CLOCK_SIM,
+            parent_id=job_span,
+            run_index=run_index,
+            job_id=outcome.job_id,
+        )
+        if outcome.demoted:
+            demotions.inc()
+            tel.tracer.event(
+                "serving.demotion",
+                time_us=outcome.start_us,
+                clock=telemetry.CLOCK_SIM,
+                parent_id=job_span,
+                run_index=run_index,
+                job_id=outcome.job_id,
+                backend=outcome.backend,
+            )
+        if outcome.met_deadline is False:
+            misses.inc()
+    # The run event carries the report's own percentiles, so a trace file is
+    # self-contained: consumers can check span-derived latencies against the
+    # authoritative report without re-running anything.
+    end_us = max(outcome.finish_us for outcome in report.outcomes) if report.outcomes else 0.0
+    tel.tracer.event(
+        "serving.run",
+        time_us=end_us,
+        clock=telemetry.CLOCK_SIM,
+        run_index=run_index,
+        policy=policy,
+        jobs=report.num_jobs,
+        p50_latency_us=report.p50_latency_us,
+        p95_latency_us=report.p95_latency_us,
+        p99_latency_us=report.p99_latency_us,
+        deadline_miss_rate=report.deadline_miss_rate,
+        demotion_rate=report.demotion_rate,
+    )

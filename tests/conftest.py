@@ -7,6 +7,8 @@ exercising the same code paths the benchmarks use at full scale.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,24 @@ from repro.experiments.instances import synthesize_instance
 from repro.qubo import QUBOModel, planted_solution_qubo, random_qubo
 from repro.transform import mimo_to_qubo
 from repro.wireless import MIMOConfig, simulate_transmission
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logging():
+    """Undo `configure_logging` side effects between tests.
+
+    The CLI configures the ``repro`` logger with its own handler and
+    ``propagate = False``; left in place that would silently break ``caplog``
+    (which listens on the root logger) for every test that runs after any
+    ``cli.main(...)`` call.
+    """
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_telemetry_handler", False):
+            root.removeHandler(handler)
+    root.propagate = True
+    root.setLevel(logging.NOTSET)
 
 
 @pytest.fixture
