@@ -1,0 +1,131 @@
+"""Benchmark the declarative ablation harness end to end.
+
+The acceptance bar for :mod:`repro.ablation` measured through the canonical
+quick study (``ablation_quick_spec``, a 2x2 SNR x switch-time grid over the
+robustness target):
+
+* **determinism** — the study's table rows at ``WORKERS`` workers must be
+  identical to the serial run (always enforced);
+* **caching** — a warm rerun against the same on-disk cache must execute
+  zero shards and hit every one of them, reproducing the cold rows exactly
+  (always enforced);
+* **Pareto sanity** — with two minimised objectives over a grid with real
+  metric spread, the front must be a non-empty strict subset of the points
+  (always enforced).
+
+Run standalone (CI smoke uses ``--smoke``)::
+
+    python benchmarks/bench_ablation.py [--smoke]
+
+or through the pytest-benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablation.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.ablation import format_study_table, run_study
+from repro.ablation.presets import ablation_quick_spec
+from repro.parallel import ResultCache
+
+#: Worker count of the serial-equality check.
+WORKERS = 4
+SMOKE_WORKERS = 2
+
+
+def run_comparison(workers: int = WORKERS) -> dict:
+    """Serial vs sharded vs warm-cache runs of the canonical quick study."""
+    spec = ablation_quick_spec()
+    serial = run_study(spec)
+    sharded = run_study(spec, workers=workers)
+    with tempfile.TemporaryDirectory(prefix="ablation-bench-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        cold = run_study(spec, cache=cache)
+        warm = run_study(spec, cache=cache)
+
+    rows = serial.table_rows()
+    return {
+        "table": format_study_table(serial),
+        "workers": workers,
+        "points": len(rows),
+        "executed": serial.stats.executed,
+        "identical": sharded.table_rows() == rows,
+        "warm_identical": warm.table_rows() == cold.table_rows() == rows,
+        "warm_hits": warm.stats.cache_hits,
+        "warm_executed": warm.stats.executed,
+        "cold_executed": cold.stats.executed,
+        "front_size": len(serial.front),
+        "front": list(serial.front),
+    }
+
+
+def format_report(result: dict) -> str:
+    """Render the comparison as an aligned text report."""
+    lines = [
+        result["table"],
+        "",
+        f"{'study points':>24}  {result['points']}",
+        f"{'sharded == serial':>24}  {result['identical']} (at {result['workers']} workers)",
+        f"{'warm rerun == cold':>24}  {result['warm_identical']}",
+        f"{'warm cache hits':>24}  {result['warm_hits']}/{result['cold_executed']} "
+        f"({result['warm_executed']} executed)",
+        f"{'pareto front size':>24}  {result['front_size']}/{result['points']}",
+        "gates: sharded==serial, warm rerun bitwise with zero executions, "
+        "front a non-empty strict subset",
+    ]
+    return "\n".join(lines)
+
+
+def _gate_failures(result: dict) -> list:
+    failures = []
+    if not result["identical"]:
+        failures.append(
+            f"sharded study at {result['workers']} workers differs from the "
+            "serial run (determinism gate)"
+        )
+    if not result["warm_identical"]:
+        failures.append("warm-cache rerun changed the study rows (caching gate)")
+    if result["warm_executed"] != 0 or result["warm_hits"] != result["cold_executed"]:
+        failures.append(
+            f"warm rerun executed {result['warm_executed']} shard(s) and hit "
+            f"{result['warm_hits']}/{result['cold_executed']} (caching gate)"
+        )
+    if not 0 < result["front_size"] < result["points"]:
+        failures.append(
+            f"Pareto front has {result['front_size']} of {result['points']} "
+            "points (expected a non-empty strict subset)"
+        )
+    return failures
+
+
+def test_ablation_harness(benchmark, report_writer):
+    from conftest import run_once
+
+    result = run_once(benchmark, run_comparison)
+    report_writer("ablation", format_report(result), data=result)
+    assert not _gate_failures(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the serial-equality check at 2 workers for CI; all gates "
+        "are still enforced (the quick study is already seconds-scale)",
+    )
+    arguments = parser.parse_args(argv)
+    result = run_comparison(workers=SMOKE_WORKERS if arguments.smoke else WORKERS)
+    print(format_report(result))
+    failures = _gate_failures(result)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.cli import build_parser  # noqa: E402
 #: Growing a documented subsystem?  Add its page here so the index and the
 #: page itself cannot silently disappear.
 REQUIRED_DOCS = (
+    "ablation.md",
     "architecture.md",
     "channels.md",
     "cli.md",

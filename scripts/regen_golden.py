@@ -26,6 +26,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.ablation.presets import ablation_quick_rows  # noqa: E402
 from repro.annealing import kernels  # noqa: E402
 from repro.experiments.fig6_distributions import Figure6Config, run_figure6  # noqa: E402
 from repro.experiments.fig8_tts import Figure8Config, run_figure8  # noqa: E402
@@ -35,6 +36,7 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 
 #: Fixture name -> zero-argument callable returning a list of result rows.
 STUDIES = {
+    "ablation_quick": ablation_quick_rows,
     "fig6_quick": lambda: run_figure6(Figure6Config.quick()),
     "fig8_quick": lambda: run_figure8(Figure8Config.quick()),
     "snr_quick": lambda: run_snr_study(SNRStudyConfig.quick()),

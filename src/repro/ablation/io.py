@@ -1,0 +1,140 @@
+"""Load :class:`~repro.ablation.spec.AblationSpec` from TOML or JSON files.
+
+Every failure mode — unreadable file, parse error, unknown top-level key,
+missing required field, malformed axes or objectives — is reported as a
+:class:`~repro.exceptions.ConfigurationError` that names the offending key
+and file, so ``repro-experiments ablate --spec bad.toml`` fails with a
+actionable message instead of a traceback from deep inside the parser.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.ablation.spec import AblationSpec
+from repro.exceptions import ConfigurationError
+
+__all__ = ["load_spec", "spec_from_mapping"]
+
+#: Keys a spec document may define, mapped onto AblationSpec fields.
+_SPEC_KEYS = (
+    "name",
+    "experiment",
+    "preset",
+    "base",
+    "axes",
+    "strategy",
+    "sample_count",
+    "sample_seed",
+    "budget",
+    "metrics",
+    "objectives",
+)
+
+
+def load_spec(path: Union[str, Path]) -> AblationSpec:
+    """Parse one study spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise ConfigurationError(
+            f"spec file {path} has unsupported suffix {suffix or '(none)'!r}; "
+            "use .toml or .json"
+        )
+    try:
+        raw_bytes = path.read_bytes()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path}: {exc}") from exc
+    try:
+        if suffix == ".toml":
+            document = tomllib.loads(raw_bytes.decode("utf-8"))
+        else:
+            document = json.loads(raw_bytes.decode("utf-8"))
+    except (tomllib.TOMLDecodeError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(f"spec file {path} failed to parse: {exc}") from exc
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            f"spec file {path} must contain a table/object at top level, "
+            f"got {type(document).__name__}"
+        )
+    return spec_from_mapping(document, source=str(path))
+
+
+def spec_from_mapping(document: Mapping[str, Any], source: str = "<spec>") -> AblationSpec:
+    """Build a validated spec from an already-parsed mapping."""
+    unknown = sorted(set(document) - set(_SPEC_KEYS))
+    if unknown:
+        raise ConfigurationError(
+            f"spec {source} has unknown key {unknown[0]!r}; "
+            "valid keys: " + ", ".join(_SPEC_KEYS)
+        )
+    for required in ("name", "experiment"):
+        if required not in document:
+            raise ConfigurationError(f"spec {source} is missing required key {required!r}")
+        if not isinstance(document[required], str) or not document[required]:
+            raise ConfigurationError(
+                f"spec {source} key {required!r} must be a non-empty string"
+            )
+
+    kwargs: dict = {"name": document["name"], "experiment": document["experiment"]}
+    for key in ("preset", "strategy"):
+        if key in document:
+            value = document[key]
+            if not isinstance(value, str):
+                raise ConfigurationError(f"spec {source} key {key!r} must be a string")
+            kwargs[key] = value
+    for key in ("sample_count", "sample_seed", "budget"):
+        if key in document:
+            value = document[key]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(f"spec {source} key {key!r} must be an integer")
+            kwargs[key] = value
+    for key in ("base", "axes"):
+        if key in document:
+            value = document[key]
+            if not isinstance(value, Mapping):
+                raise ConfigurationError(
+                    f"spec {source} key {key!r} must be a table/object of "
+                    "config-field entries"
+                )
+            kwargs[key] = dict(value)
+    if "metrics" in document:
+        metrics = document["metrics"]
+        if not isinstance(metrics, (list, tuple)) or not all(
+            isinstance(item, str) for item in metrics
+        ):
+            raise ConfigurationError(
+                f"spec {source} key 'metrics' must be a list of metric names"
+            )
+        kwargs["metrics"] = tuple(metrics)
+    if "objectives" in document:
+        kwargs["objectives"] = _parse_objectives(document["objectives"], source)
+
+    return AblationSpec(**kwargs)
+
+
+def _parse_objectives(raw: Any, source: str) -> tuple:
+    """Objectives: list of ``[metric, direction]`` pairs or a name->direction table."""
+    if isinstance(raw, Mapping):
+        return tuple((str(metric), direction) for metric, direction in raw.items())
+    if isinstance(raw, (list, tuple)):
+        pairs = []
+        for entry in raw:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not all(isinstance(part, str) for part in entry)
+            ):
+                raise ConfigurationError(
+                    f"spec {source} key 'objectives' entries must be "
+                    f"[metric, direction] string pairs, got {entry!r}"
+                )
+            pairs.append((entry[0], entry[1]))
+        return tuple(pairs)
+    raise ConfigurationError(
+        f"spec {source} key 'objectives' must be a list of [metric, direction] "
+        "pairs or a metric -> direction table"
+    )

@@ -1,0 +1,117 @@
+"""Pareto-front computation over study-point metrics.
+
+The front is computed under weak domination: point *a* dominates point *b*
+when *a* is at least as good on every objective and strictly better on at
+least one (after orienting each objective by its ``min``/``max`` direction).
+Consequences the test suite pins down:
+
+* a single-point study's front is that point;
+* ties — points with identical objective vectors — dominate nobody and are
+  *all* kept on the front (dropping one of two equally good tradeoffs would
+  be arbitrary);
+* points with a missing or non-finite (NaN/inf) objective metric are
+  **excluded** from the comparison rather than poisoning it, each exclusion
+  raising a structured :class:`ParetoExclusionWarning` and a log record.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.ablation.spec import OBJECTIVE_DIRECTIONS
+from repro.exceptions import ConfigurationError
+from repro.telemetry.log import get_logger
+
+__all__ = ["ParetoExclusion", "ParetoExclusionWarning", "pareto_front"]
+
+_log = get_logger(__name__)
+
+
+class ParetoExclusionWarning(UserWarning):
+    """A study point was left out of the Pareto front (bad objective metric)."""
+
+
+@dataclass(frozen=True)
+class ParetoExclusion:
+    """Why one point could not participate in the front."""
+
+    point_id: str
+    metric: str
+    value: str
+    reason: str  # "missing" or "non-finite"
+
+    def message(self) -> str:
+        return (
+            f"study point {self.point_id} excluded from the Pareto front: "
+            f"objective metric {self.metric!r} is {self.reason} ({self.value})"
+        )
+
+
+def pareto_front(
+    metric_maps: Sequence[Mapping[str, float]],
+    objectives: Sequence[Tuple[str, str]],
+    point_ids: Sequence[str],
+) -> Tuple[List[int], List[ParetoExclusion]]:
+    """Return (front indices, exclusions) for the given objective set.
+
+    ``metric_maps[i]`` holds point ``i``'s scalar metrics and ``point_ids[i]``
+    its display identity (used in warnings).  Front indices come back sorted
+    ascending; exclusions in point order, one per bad point (its first bad
+    metric, in objective order).
+    """
+    if not objectives:
+        raise ConfigurationError("pareto_front requires at least one objective")
+    for metric, direction in objectives:
+        if direction not in OBJECTIVE_DIRECTIONS:
+            raise ConfigurationError(
+                f"objective {metric!r} has unknown direction {direction!r}; "
+                "valid directions: " + ", ".join(OBJECTIVE_DIRECTIONS)
+            )
+    if len(metric_maps) != len(point_ids):
+        raise ConfigurationError(
+            f"{len(metric_maps)} metric maps but {len(point_ids)} point ids"
+        )
+
+    vectors: List[Tuple[float, ...]] = []
+    candidates: List[int] = []
+    exclusions: List[ParetoExclusion] = []
+    for index, metrics in enumerate(metric_maps):
+        vector: List[float] = []
+        bad: ParetoExclusion | None = None
+        for metric, direction in objectives:
+            if metric not in metrics:
+                bad = ParetoExclusion(str(point_ids[index]), metric, "absent", "missing")
+                break
+            value = float(metrics[metric])
+            if not math.isfinite(value):
+                bad = ParetoExclusion(str(point_ids[index]), metric, repr(value), "non-finite")
+                break
+            vector.append(value if direction == "min" else -value)
+        if bad is not None:
+            exclusions.append(bad)
+            warnings.warn(ParetoExclusionWarning(bad.message()), stacklevel=2)
+            _log.warning(
+                "pareto.point_excluded",
+                point=bad.point_id,
+                metric=bad.metric,
+                reason=bad.reason,
+                value=bad.value,
+            )
+        else:
+            vectors.append(tuple(vector))
+            candidates.append(index)
+
+    front: List[int] = []
+    for i, vec_i in zip(candidates, vectors):
+        dominated = any(
+            all(a <= b for a, b in zip(vec_j, vec_i))
+            and any(a < b for a, b in zip(vec_j, vec_i))
+            for j, vec_j in zip(candidates, vectors)
+            if j != i
+        )
+        if not dominated:
+            front.append(i)
+    return front, exclusions

@@ -1,0 +1,74 @@
+"""Canonical in-tree study specs.
+
+``fig8_quick_spec`` and ``robustness_quick_spec`` are the two paper drivers
+re-expressed as degenerate (single-point, no-axis) studies — running them
+through :func:`~repro.ablation.study.run_study` executes exactly the shards
+a ``repro-experiments fig8`` / ``robustness`` quick run would, so their rows
+match the imperative drivers bitwise.
+
+``ablation_quick_spec`` is the micro two-axis robustness study frozen as the
+``ablation_quick`` golden fixture and exercised by the CI smoke step: a
+2×2 grid over SNR and annealing switch time with a BER/latency Pareto front.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ablation.spec import AblationSpec
+
+__all__ = [
+    "fig8_quick_spec",
+    "robustness_quick_spec",
+    "ablation_quick_spec",
+    "ablation_quick_rows",
+]
+
+
+def fig8_quick_spec() -> AblationSpec:
+    """The fig8 quick run as a one-point study."""
+    return AblationSpec(name="fig8-quick", experiment="fig8", preset="quick")
+
+
+def robustness_quick_spec() -> AblationSpec:
+    """The robustness quick run as a one-point study."""
+    return AblationSpec(name="robustness-quick", experiment="robustness", preset="quick")
+
+
+def ablation_quick_spec() -> AblationSpec:
+    """A seconds-scale 2×2 SNR × switch-time study with a Pareto front.
+
+    The correlated 3×3 channel at low SNR keeps the hybrid detector's BER
+    off the floor, so the two objectives genuinely trade off and the front
+    is a strict subset of the grid.
+    """
+    return AblationSpec(
+        name="ablation-quick",
+        experiment="robustness",
+        preset="quick",
+        base={
+            "num_users": 3,
+            "num_receive_antennas": 3,
+            "channel_uses_per_point": 3,
+            "num_reads": 30,
+            "correlation_grid": (0.6,),
+            "velocity_grid_mps": (),
+            "csi_error_grid": (),
+            "interference_grid": (),
+        },
+        axes={
+            "snr_db": (0.0, 8.0),
+            "switch_s": (0.35, 0.45),
+        },
+        objectives=(
+            ("hybrid_ber_mean", "min"),
+            ("hybrid_time_us_mean", "min"),
+        ),
+    )
+
+
+def ablation_quick_rows() -> List:
+    """Table rows of the quick study (golden-fixture entry point)."""
+    from repro.ablation.study import run_study
+
+    return run_study(ablation_quick_spec()).table_rows()

@@ -1,0 +1,279 @@
+"""Built-in ablation targets: fig8, robustness, and a synthetic SA HPO sweep.
+
+The paper-figure targets bind the drivers' existing shard builders
+(:func:`~repro.experiments.fig8_tts.figure8_tasks`,
+:func:`~repro.experiments.robustness_study.robustness_tasks`) so a study
+point's shards are *the same work units* — same functions, same kwargs, same
+cache fingerprints — that a direct ``repro-experiments fig8`` /
+``robustness`` run produces.  This is what makes the harness subsume the
+imperative drivers bitwise, and it means the declarative and imperative
+paths share one warm cache.
+
+``anneal-hpo`` is a self-contained hyper-parameter target (simulated
+annealing over a planted random QUBO) used by examples, the property-test
+suite and CI smoke: it exercises the full spec → points → shards → metrics →
+Pareto path in milliseconds without touching the MIMO stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ablation.registry import ExperimentTarget, register_target
+from repro.parallel import ShardTask
+
+__all__ = [
+    "AnnealHPOConfig",
+    "AnnealHPORow",
+    "anneal_hpo_tasks",
+    "register_builtin_targets",
+]
+
+
+def _finite_or_nan(values: Sequence[float]) -> float:
+    """Minimum of the finite values, NaN when there are none."""
+    finite = [value for value in values if math.isfinite(value)]
+    return min(finite) if finite else float("nan")
+
+
+def _mean_or_nan(values: Sequence[float]) -> float:
+    return float(np.mean(values)) if len(values) else float("nan")
+
+
+# ---------------------------------------------------------------------------
+# fig8 — success probability and TTS vs s_p (paper Figure 8)
+# ---------------------------------------------------------------------------
+
+FIG8_METRICS = (
+    "success_probability_max",
+    "fa_tts_us_min",
+    "ra_greedy_tts_us_min",
+    "tts_speedup",
+    "duration_us_mean",
+)
+
+
+def _fig8_presets():
+    from repro.experiments.fig8_tts import Figure8Config
+
+    return {
+        "default": Figure8Config,
+        "quick": Figure8Config.quick,
+        "paper": Figure8Config.paper_scale,
+    }
+
+
+def _fig8_tasks(config: Any) -> Sequence[ShardTask]:
+    from repro.experiments.fig8_tts import figure8_tasks
+
+    return figure8_tasks(config)
+
+
+def _flatten_shards(config: Any, shards: Sequence[Any]) -> List[Any]:
+    """Row lists per shard -> one flat row list, in task order."""
+    return [row for shard in shards for row in shard]
+
+
+def _fig8_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
+    fa_tts = _finite_or_nan([row.tts_us for row in rows if row.method == "FA"])
+    ra_tts = _finite_or_nan([row.tts_us for row in rows if row.method == "RA-greedy"])
+    if math.isfinite(fa_tts) and math.isfinite(ra_tts) and ra_tts > 0:
+        speedup = fa_tts / ra_tts
+    else:
+        speedup = float("nan")
+    return (
+        (
+            "success_probability_max",
+            max((row.success_probability for row in rows), default=float("nan")),
+        ),
+        ("fa_tts_us_min", fa_tts),
+        ("ra_greedy_tts_us_min", ra_tts),
+        ("tts_speedup", speedup),
+        ("duration_us_mean", _mean_or_nan([row.duration_us for row in rows])),
+    )
+
+
+# ---------------------------------------------------------------------------
+# robustness — detection quality under channel impairments (E-X3)
+# ---------------------------------------------------------------------------
+
+ROBUSTNESS_METRICS = (
+    "hybrid_ber_mean",
+    "mmse_ber_mean",
+    "zero_forcing_ber_mean",
+    "hybrid_optimum_rate_mean",
+    "hybrid_time_us_mean",
+    "hybrid_time_us_p95",
+)
+
+
+def _robustness_presets():
+    from repro.experiments.robustness_study import RobustnessStudyConfig
+
+    return {
+        "default": RobustnessStudyConfig,
+        "quick": RobustnessStudyConfig.quick,
+        "paper": RobustnessStudyConfig.paper_scale,
+    }
+
+
+def _robustness_tasks(config: Any) -> Sequence[ShardTask]:
+    from repro.experiments.robustness_study import robustness_tasks
+
+    return robustness_tasks(config)
+
+
+def _identity_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
+    """Each shard result already is one row."""
+    return list(shards)
+
+
+def _robustness_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
+    times = [row.hybrid_time_us for row in rows]
+    return (
+        ("hybrid_ber_mean", _mean_or_nan([row.hybrid_ber for row in rows])),
+        ("mmse_ber_mean", _mean_or_nan([row.mmse_ber for row in rows])),
+        ("zero_forcing_ber_mean", _mean_or_nan([row.zero_forcing_ber for row in rows])),
+        ("hybrid_optimum_rate_mean", _mean_or_nan([row.hybrid_optimum_rate for row in rows])),
+        ("hybrid_time_us_mean", _mean_or_nan(times)),
+        ("hybrid_time_us_p95", float(np.percentile(times, 95)) if times else float("nan")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# anneal-hpo — classical SA hyper-parameters on a planted random QUBO
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnnealHPOConfig:
+    """Configuration of the synthetic SA hyper-parameter target.
+
+    One fixed random QUBO (selected by ``instance_seed``) is annealed
+    ``num_restarts`` times per point; the study's axes typically sweep
+    ``num_sweeps`` and ``final_temperature`` against solution energy and
+    modelled compute time.  Each restart is one shard with its own explicit
+    child seed, so the target shards freely and caches per restart.
+    """
+
+    num_variables: int = 12
+    density: float = 1.0
+    num_sweeps: int = 60
+    final_temperature: float = 0.01
+    num_restarts: int = 4
+    instance_seed: int = 7
+    base_seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "AnnealHPOConfig":
+        """A minimal configuration used by tests and CI smoke."""
+        return cls(num_variables=6, num_sweeps=12, num_restarts=2)
+
+
+@dataclass(frozen=True)
+class AnnealHPORow:
+    """One SA restart of the synthetic HPO target."""
+
+    restart: int
+    energy: float
+    compute_time_us: float
+    sweeps: int
+
+
+ANNEAL_HPO_METRICS = (
+    "best_energy",
+    "mean_energy",
+    "compute_time_us_mean",
+    "sweeps_total",
+)
+
+
+def _anneal_hpo_shard(config: AnnealHPOConfig, restart: int) -> AnnealHPORow:
+    """One SA restart (module-level so the process pool can pickle it)."""
+    from repro.classical.simulated_annealing import SimulatedAnnealingSolver
+    from repro.qubo.generators import random_qubo
+    from repro.utils.rng import stable_seed
+
+    qubo = random_qubo(
+        config.num_variables,
+        density=config.density,
+        rng=stable_seed("anneal-hpo-instance", config.instance_seed),
+    )
+    solver = SimulatedAnnealingSolver(
+        num_sweeps=config.num_sweeps, final_temperature=config.final_temperature
+    )
+    solution = solver.solve(
+        qubo, rng=stable_seed("anneal-hpo-restart", config.base_seed, restart)
+    )
+    return AnnealHPORow(
+        restart=restart,
+        energy=float(solution.energy),
+        compute_time_us=float(solution.compute_time_us),
+        sweeps=int(solution.iterations),
+    )
+
+
+def anneal_hpo_tasks(config: AnnealHPOConfig) -> List[ShardTask]:
+    """One shard per SA restart, each seeded by (base_seed, restart)."""
+    return [
+        ShardTask(
+            key=("anneal-hpo", restart),
+            fn=_anneal_hpo_shard,
+            kwargs={"config": config, "restart": restart},
+        )
+        for restart in range(config.num_restarts)
+    ]
+
+
+def _anneal_hpo_metrics(rows: Sequence[AnnealHPORow]) -> Tuple[Tuple[str, float], ...]:
+    energies = [row.energy for row in rows]
+    return (
+        ("best_energy", min(energies) if energies else float("nan")),
+        ("mean_energy", _mean_or_nan(energies)),
+        ("compute_time_us_mean", _mean_or_nan([row.compute_time_us for row in rows])),
+        ("sweeps_total", float(sum(row.sweeps for row in rows))),
+    )
+
+
+def register_builtin_targets() -> None:
+    """Register the built-in targets (idempotent via replace=True)."""
+    register_target(
+        ExperimentTarget(
+            name="fig8",
+            presets=_fig8_presets(),
+            tasks=_fig8_tasks,
+            collect=_flatten_shards,
+            metrics=_fig8_metrics,
+            metric_names=FIG8_METRICS,
+            description="Figure 8 — success probability and TTS(99%) vs s_p",
+        ),
+        replace=True,
+    )
+    register_target(
+        ExperimentTarget(
+            name="robustness",
+            presets=_robustness_presets(),
+            tasks=_robustness_tasks,
+            collect=_identity_collect,
+            metrics=_robustness_metrics,
+            metric_names=ROBUSTNESS_METRICS,
+            description="E-X3 — detection robustness under channel impairments",
+        ),
+        replace=True,
+    )
+    register_target(
+        ExperimentTarget(
+            name="anneal-hpo",
+            presets={"default": AnnealHPOConfig, "quick": AnnealHPOConfig.quick},
+            tasks=anneal_hpo_tasks,
+            collect=_identity_collect,
+            metrics=_anneal_hpo_metrics,
+            metric_names=ANNEAL_HPO_METRICS,
+            description="synthetic SA hyper-parameter sweep on a random QUBO",
+        ),
+        replace=True,
+    )

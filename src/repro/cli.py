@@ -16,6 +16,7 @@ Installed as ``repro-experiments``::
     repro-experiments serve           # serving layer: multi-user load sweep
     repro-experiments scenarios       # time-varying scenarios: static vs autoscaled
     repro-experiments all             # everything, in order
+    repro-experiments ablate --spec study.toml   # declarative ablation/HPO study
 
 ``--paper-scale`` switches the configurations that support it to the paper's
 full instance/read counts (slow); ``--quick`` selects the minimal smoke-test
@@ -37,13 +38,21 @@ timings, cache counters) and exports ``trace.jsonl``, ``metrics.prom`` and
 ``summary.txt`` into DIR on exit — results are bitwise-identical with or
 without it (see ``docs/telemetry.md``).  ``--verbose/-v`` and ``--quiet/-q``
 control structured progress logging.
+
+``ablate`` runs a declarative ablation/HPO study: ``--spec FILE`` names a
+TOML or JSON study spec (see ``docs/ablation.md``), ``--workers``,
+``--no-cache``/``--cache-dir`` and ``--telemetry`` apply as above, and the
+tidy results table plus Pareto summary print to stdout while the per-study
+JSON artifact lands at ``--output`` (default ``ablation_<study-name>.json``).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import pathlib
+import re
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -200,6 +209,25 @@ def _run_scenarios(scale, batch_size, workers, cache) -> str:
     return format_scenario_table(run_scenario_study(config, workers=workers, cache=cache))
 
 
+def _run_ablate(spec_path: str, output: Optional[str], workers, cache) -> str:
+    """Run one declarative study: print its table, write its JSON artifact."""
+    from repro.ablation import format_study_table, load_spec, run_study
+
+    spec = load_spec(spec_path)
+    result = run_study(spec, workers=workers, cache=cache)
+    if output is None:
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", spec.name)
+        output = f"ablation_{slug}.json"
+    artifact = pathlib.Path(output)
+    if artifact.parent != pathlib.Path("."):
+        artifact.parent.mkdir(parents=True, exist_ok=True)
+    artifact.write_text(
+        json.dumps(result.payload(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    _log.info("ablation.artifact_written", path=str(artifact), study=spec.name)
+    return format_study_table(result) + f"\nArtifact: {artifact}"
+
+
 _ExperimentRunner = Callable[[str, Optional[int], Optional[int], Optional[ResultCache]], str]
 _EXPERIMENTS: Dict[str, _ExperimentRunner] = {
     "fig3": _run_fig3,
@@ -227,8 +255,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which experiment to run",
+        choices=sorted(_EXPERIMENTS) + ["all", "ablate"],
+        help="which experiment to run ('ablate' runs a declarative study "
+        "from --spec and is not part of 'all')",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="ablation study spec, a .toml or .json file (required by, and "
+        "only valid with, the 'ablate' subcommand; see docs/ablation.md)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="where 'ablate' writes the per-study JSON artifact "
+        "(default: ablation_<study-name>.json in the working directory)",
     )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument(
@@ -328,6 +371,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--workers must be at least 1, got {arguments.workers}")
     if arguments.quiet and arguments.verbose:
         parser.error("--quiet and --verbose are mutually exclusive")
+    if arguments.experiment == "ablate" and arguments.spec is None:
+        parser.error("ablate requires --spec FILE (a .toml or .json study spec)")
+    if arguments.experiment != "ablate" and arguments.spec is not None:
+        parser.error("--spec is only valid with the 'ablate' subcommand")
+    if arguments.experiment != "ablate" and arguments.output is not None:
+        parser.error("--output is only valid with the 'ablate' subcommand")
     scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
     configure_logging(-1 if arguments.quiet else arguments.verbose)
@@ -335,9 +384,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     session = telemetry.enable() if arguments.telemetry is not None else None
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     try:
-        for name in names:
-            print(_EXPERIMENTS[name](scale, arguments.batch_size, arguments.workers, cache))
+        # Spec loading happens inside the try so a bad spec still exports
+        # whatever telemetry was recorded before the failure.
+        if arguments.experiment == "ablate":
+            print(_run_ablate(arguments.spec, arguments.output, arguments.workers, cache))
             print()
+        else:
+            for name in names:
+                print(_EXPERIMENTS[name](scale, arguments.batch_size, arguments.workers, cache))
+                print()
     finally:
         # Export whatever was recorded even when an experiment raises —
         # a partial trace is exactly what you want when debugging a failure.

@@ -37,7 +37,7 @@ from repro.hybrid.parameters import (
 )
 from repro.metrics.quality import delta_e_percent
 from repro import telemetry
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.parallel import ResultCache, ShardTask
 from repro.telemetry.log import get_logger
 from repro.utils.rng import stable_seed
 
@@ -349,9 +349,10 @@ def run_figure8(
                 rows.extend(_fr_rows(config, instance, annealer, switch_s))
         return rows
 
-    tasks = figure8_tasks(config)
-    _log.info("fig8.start", shards=len(tasks), workers=workers or 1)
-    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(tasks)
+    from repro.ablation.study import run_single_config
+
+    _log.info("fig8.start", shards=len(figure8_tasks(config)), workers=workers or 1)
+    tasks, shards = run_single_config("fig8", config, workers=workers, cache=cache)
     for task, shard in zip(tasks, shards):
         telemetry.emit_progress("fig8", task.key[1:], rows=len(shard))
     return [row for shard in shards for row in shard]

@@ -34,7 +34,7 @@ from repro.classical.mmse import MMSEDetector
 from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError
 from repro.hybrid.solver import HybridMIMODetector
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.parallel import ResultCache, ShardTask
 from repro.telemetry.log import get_logger
 from repro.transform.mimo_to_qubo import is_optimum, mimo_to_qubo
 from repro.utils.batching import iter_batches
@@ -344,9 +344,12 @@ def run_robustness_study(
     bitwise-identical to the serial path at any worker count) and ``cache``
     reuses point results across runs; see :mod:`repro.parallel`.
     """
-    tasks = robustness_tasks(config)
-    _log.info("robustness_study.start", points=len(tasks), workers=workers or 1)
-    rows = ParallelRunner(workers=workers, cache=cache).run_sharded(tasks)
+    from repro.ablation.study import run_single_config
+
+    _log.info(
+        "robustness_study.start", points=len(robustness_tasks(config)), workers=workers or 1
+    )
+    _, rows = run_single_config("robustness", config, workers=workers, cache=cache)
     for row in rows:
         telemetry.emit_progress(
             "robustness-study", (row.axis, row.value), hybrid_ber=row.hybrid_ber

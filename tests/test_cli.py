@@ -1,10 +1,12 @@
 """Tests for the repro-experiments command line interface."""
 
+import json
 import pathlib
 
 import pytest
 
 import repro.cli as cli
+from repro.exceptions import ConfigurationError
 
 
 @pytest.fixture(autouse=True)
@@ -124,3 +126,163 @@ class TestMain:
         warm = capsys.readouterr().out
         assert exit_code == 0
         assert warm == cold
+
+
+_HPO_SPEC_TOML = """\
+name = "cli-hpo"
+experiment = "anneal-hpo"
+preset = "quick"
+
+[axes]
+num_sweeps = [8, 16]
+
+[objectives]
+best_energy = "min"
+compute_time_us_mean = "min"
+"""
+
+
+def _write_spec(tmp_path, text=_HPO_SPEC_TOML, suffix=".toml"):
+    path = tmp_path / f"study{suffix}"
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestAblate:
+    def test_requires_spec(self):
+        with pytest.raises(SystemExit):
+            cli.main(["ablate"])
+
+    def test_spec_flag_rejected_for_other_subcommands(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["fig3", "--spec", _write_spec(tmp_path)])
+
+    def test_output_flag_rejected_for_other_subcommands(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig3", "--output", "out.json"])
+
+    def test_ablate_not_part_of_all(self, capsys, tmp_path):
+        # 'all' must not require --spec (ablate is opt-in only).
+        arguments = cli.build_parser().parse_args(["all"])
+        assert arguments.spec is None
+
+    def test_runs_toml_spec_and_writes_artifact(self, capsys):
+        spec = _write_spec(pathlib.Path("."))
+        exit_code = cli.main(["ablate", "--spec", spec, "--no-cache"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Ablation study 'cli-hpo'" in captured.out
+        assert "Pareto front:" in captured.out
+        artifact = pathlib.Path("ablation_cli-hpo.json")
+        assert artifact.exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["study"] == "cli-hpo"
+        assert len(payload["data"]["points"]) == 2
+
+    def test_runs_json_spec(self, capsys):
+        document = {
+            "name": "cli-json",
+            "experiment": "anneal-hpo",
+            "preset": "quick",
+            "axes": {"num_sweeps": [8, 16]},
+        }
+        spec = _write_spec(pathlib.Path("."), json.dumps(document), suffix=".json")
+        exit_code = cli.main(["ablate", "--spec", spec, "--no-cache"])
+        assert exit_code == 0
+        assert "cli-json" in capsys.readouterr().out
+
+    def test_output_flag_controls_artifact_path(self, capsys):
+        spec = _write_spec(pathlib.Path("."))
+        out = pathlib.Path("reports") / "study.json"
+        exit_code = cli.main(["ablate", "--spec", spec, "--no-cache", "--output", str(out)])
+        assert exit_code == 0
+        assert out.exists()
+        assert json.loads(out.read_text())["study"] == "cli-hpo"
+
+    def test_workers_match_serial_artifact(self, capsys):
+        spec = _write_spec(pathlib.Path("."))
+        cli.main(["ablate", "--spec", spec, "--no-cache", "--output", "serial.json"])
+        serial_out = capsys.readouterr().out
+        cli.main(
+            [
+                "ablate",
+                "--spec",
+                spec,
+                "--no-cache",
+                "--workers",
+                "2",
+                "--output",
+                "sharded.json",
+            ]
+        )
+        sharded_out = capsys.readouterr().out
+        serial = json.loads(pathlib.Path("serial.json").read_text())
+        sharded = json.loads(pathlib.Path("sharded.json").read_text())
+        assert serial["data"]["points"] == sharded["data"]["points"]
+        assert serial["data"]["pareto"] == sharded["data"]["pareto"]
+        # Table bodies match too (the stats line is allowed to differ).
+        def strip(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "worker(s)" not in line and "Artifact:" not in line
+            ]
+
+        assert strip(serial_out) == strip(sharded_out)
+
+    def test_cache_stats_surface_in_artifact(self, capsys):
+        spec = _write_spec(pathlib.Path("."))
+        cli.main(["ablate", "--spec", spec, "--cache-dir", "warm", "--output", "a.json"])
+        cold = json.loads(pathlib.Path("a.json").read_text())["data"]["stats"]
+        cli.main(["ablate", "--spec", spec, "--cache-dir", "warm", "--output", "b.json"])
+        warm = json.loads(pathlib.Path("b.json").read_text())["data"]["stats"]
+        capsys.readouterr()
+        assert cold["cache_hits"] == 0
+        assert warm["cache_hits"] == cold["executed"] > 0
+        assert warm["executed"] == 0
+
+    def test_no_cache_disables_the_cache(self, capsys):
+        spec = _write_spec(pathlib.Path("."))
+        for output in ("a.json", "b.json"):
+            cli.main(["ablate", "--spec", spec, "--no-cache", "--output", output])
+        capsys.readouterr()
+        stats = json.loads(pathlib.Path("b.json").read_text())["data"]["stats"]
+        assert stats["cache_hits"] == 0
+        assert not pathlib.Path(".repro-cache").exists()
+
+    def test_missing_spec_file_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="no-such-spec.toml"):
+            cli.main(["ablate", "--spec", "no-such-spec.toml"])
+
+    def test_toml_parse_error_raises_configuration_error(self):
+        spec = _write_spec(pathlib.Path("."), "name = [unclosed\n")
+        with pytest.raises(ConfigurationError, match="failed to parse"):
+            cli.main(["ablate", "--spec", spec])
+
+    def test_unknown_spec_key_raises_configuration_error(self):
+        text = _HPO_SPEC_TOML + "\nsampel_count = 3\n"
+        spec = _write_spec(pathlib.Path("."), text)
+        with pytest.raises(ConfigurationError, match="sampel_count"):
+            cli.main(["ablate", "--spec", spec])
+
+    def test_unknown_axis_field_raises_configuration_error(self):
+        text = _HPO_SPEC_TOML.replace("num_sweeps = [8, 16]", "num_sweps = [8, 16]")
+        spec = _write_spec(pathlib.Path("."), text)
+        with pytest.raises(ConfigurationError, match="num_sweps"):
+            cli.main(["ablate", "--spec", spec])
+
+    def test_telemetry_exported_even_when_spec_is_bad(self, capsys):
+        with pytest.raises(ConfigurationError):
+            cli.main(["ablate", "--spec", "missing.toml", "--telemetry", "tele-out"])
+        capsys.readouterr()
+        assert (pathlib.Path("tele-out") / "trace.jsonl").exists()
+        assert (pathlib.Path("tele-out") / "metrics.prom").exists()
+
+    def test_telemetry_records_point_events(self, capsys):
+        spec = _write_spec(pathlib.Path("."))
+        exit_code = cli.main(["ablate", "--spec", spec, "--no-cache", "--telemetry", "tele-run"])
+        capsys.readouterr()
+        assert exit_code == 0
+        trace = (pathlib.Path("tele-run") / "trace.jsonl").read_text()
+        assert "ablation:cli-hpo" in trace

@@ -22,6 +22,7 @@ import pathlib
 
 import pytest
 
+from repro.ablation.presets import ablation_quick_rows
 from repro.annealing import kernels
 from repro.experiments.fig6_distributions import Figure6Config, run_figure6
 from repro.experiments.fig8_tts import Figure8Config, run_figure8
@@ -35,6 +36,7 @@ def rows_as_payload(rows) -> list:
     return json.loads(json.dumps([dataclasses.asdict(row) for row in rows]))
 
 STUDIES = {
+    "ablation_quick": ablation_quick_rows,
     "fig6_quick": lambda: run_figure6(Figure6Config.quick()),
     "fig8_quick": lambda: run_figure8(Figure8Config.quick()),
     "snr_quick": lambda: run_snr_study(SNRStudyConfig.quick()),
@@ -66,7 +68,7 @@ def _diff(expected, actual, path, lines):
 
 def _row_label(row) -> str:
     """A short identity for one result row, for diff readability."""
-    keys = [k for k in ("modulation", "method", "switch_s", "snr_db") if k in row]
+    keys = [k for k in ("modulation", "method", "switch_s", "snr_db", "point_id") if k in row]
     return "/".join(str(row[k]) for k in keys) or "row"
 
 
