@@ -31,6 +31,7 @@ REQUIRED_DOCS = (
     "cli.md",
     "experiments.md",
     "kernels.md",
+    "network.md",
     "parallel.md",
     "scenarios.md",
     "serving.md",

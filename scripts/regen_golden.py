@@ -30,6 +30,10 @@ from repro.ablation.presets import ablation_quick_rows  # noqa: E402
 from repro.annealing import kernels  # noqa: E402
 from repro.experiments.fig6_distributions import Figure6Config, run_figure6  # noqa: E402
 from repro.experiments.fig8_tts import Figure8Config, run_figure8  # noqa: E402
+from repro.experiments.network_study import (  # noqa: E402
+    NetworkStudyConfig,
+    run_network_study,
+)
 from repro.experiments.snr_study import SNRStudyConfig, run_snr_study  # noqa: E402
 
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
@@ -39,6 +43,7 @@ STUDIES = {
     "ablation_quick": ablation_quick_rows,
     "fig6_quick": lambda: run_figure6(Figure6Config.quick()),
     "fig8_quick": lambda: run_figure8(Figure8Config.quick()),
+    "network_quick": lambda: run_network_study(NetworkStudyConfig.quick()).rows,
     "snr_quick": lambda: run_snr_study(SNRStudyConfig.quick()),
 }
 

@@ -8,7 +8,8 @@ turns shard results back into the driver's row type, and a metrics reducer
 producing the scalar columns of the tidy results table.
 
 Targets register by name; the built-in bindings (``fig8``, ``robustness``,
-``anneal-hpo``) load lazily on first lookup so importing
+``serve``, ``scenarios``, ``network``, ``anneal-hpo``) load lazily on first
+lookup so importing
 :mod:`repro.ablation` never triggers the experiment modules (which
 themselves call back into the harness).
 """

@@ -1,13 +1,19 @@
-"""Built-in ablation targets: fig8, robustness, and a synthetic SA HPO sweep.
+"""Built-in ablation targets: fig8, robustness, the serving/scenario/network
+drivers, and a synthetic SA HPO sweep.
 
-The paper-figure targets bind the drivers' existing shard builders
+The experiment targets bind the drivers' existing shard builders
 (:func:`~repro.experiments.fig8_tts.figure8_tasks`,
-:func:`~repro.experiments.robustness_study.robustness_tasks`) so a study
+:func:`~repro.experiments.robustness_study.robustness_tasks`,
+:func:`~repro.experiments.load_study.load_study_tasks`,
+:func:`~repro.experiments.scenario_study.scenario_study_tasks`,
+:func:`~repro.experiments.network_study.network_study_tasks`) so a study
 point's shards are *the same work units* — same functions, same kwargs, same
 cache fingerprints — that a direct ``repro-experiments fig8`` /
-``robustness`` run produces.  This is what makes the harness subsume the
-imperative drivers bitwise, and it means the declarative and imperative
-paths share one warm cache.
+``robustness`` / ``serve`` / ``scenarios`` / ``network`` run produces.  This
+is what makes the harness subsume the imperative drivers bitwise, and it
+means the declarative and imperative paths share one warm cache.  The
+serving-side targets turn pool sizes, autoscale thresholds, and the network
+study's detector/embedder knobs into sweepable axes.
 
 ``anneal-hpo`` is a self-contained hyper-parameter target (simulated
 annealing over a planted random QUBO) used by examples, the property-test
@@ -145,6 +151,172 @@ def _robustness_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
 
 
 # ---------------------------------------------------------------------------
+# serve — offered-load sweep of the serving architectures (E-SV)
+# ---------------------------------------------------------------------------
+
+SERVE_METRICS = (
+    "pooled_miss_rate_mean",
+    "pooled_miss_rate_max",
+    "serialized_miss_rate_mean",
+    "pipelined_miss_rate_mean",
+    "pooled_p95_us_max",
+    "pooled_demotion_rate_mean",
+)
+
+
+def _serve_presets():
+    from repro.experiments.load_study import LoadStudyConfig
+
+    return {
+        "default": LoadStudyConfig,
+        "quick": LoadStudyConfig.quick,
+        "paper": LoadStudyConfig.paper_scale,
+    }
+
+
+def _serve_tasks(config: Any) -> Sequence[ShardTask]:
+    from repro.experiments.load_study import load_study_tasks
+
+    return load_study_tasks(config)
+
+
+def _serve_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
+    from repro.experiments.load_study import collect_load_rows
+
+    return collect_load_rows(config, shards)
+
+
+def _serve_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
+    pooled = [row.pooled_miss_rate for row in rows]
+    return (
+        ("pooled_miss_rate_mean", _mean_or_nan(pooled)),
+        ("pooled_miss_rate_max", max(pooled, default=float("nan"))),
+        ("serialized_miss_rate_mean", _mean_or_nan([row.serialized_miss_rate for row in rows])),
+        ("pipelined_miss_rate_mean", _mean_or_nan([row.pipelined_miss_rate for row in rows])),
+        ("pooled_p95_us_max", max((row.pooled_p95_us for row in rows), default=float("nan"))),
+        ("pooled_demotion_rate_mean", _mean_or_nan([row.pooled_demotion_rate for row in rows])),
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenarios — static vs autoscaled pools across the scenario catalog (E-SC)
+# ---------------------------------------------------------------------------
+
+SCENARIOS_METRICS = (
+    "autoscaled_miss_rate_mean",
+    "autoscaled_miss_rate_max",
+    "static_miss_rate_mean",
+    "autoscaled_p99_us_max",
+    "mean_active_workers_mean",
+    "scale_events_total",
+)
+
+
+def _scenarios_presets():
+    from repro.experiments.scenario_study import ScenarioStudyConfig
+
+    return {
+        "default": ScenarioStudyConfig,
+        "quick": ScenarioStudyConfig.quick,
+        "paper": ScenarioStudyConfig.paper_scale,
+    }
+
+
+def _scenarios_tasks(config: Any) -> Sequence[ShardTask]:
+    from repro.experiments.scenario_study import scenario_study_tasks
+
+    return scenario_study_tasks(config)
+
+
+def _scenarios_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
+    from repro.experiments.scenario_study import collect_scenario_rows
+
+    return collect_scenario_rows(config, list(shards))
+
+
+def _scenarios_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
+    autoscaled = [row.autoscaled_miss_rate for row in rows]
+    return (
+        ("autoscaled_miss_rate_mean", _mean_or_nan(autoscaled)),
+        ("autoscaled_miss_rate_max", max(autoscaled, default=float("nan"))),
+        ("static_miss_rate_mean", _mean_or_nan([row.static_miss_rate for row in rows])),
+        (
+            "autoscaled_p99_us_max",
+            max((row.autoscaled_p99_us for row in rows), default=float("nan")),
+        ),
+        ("mean_active_workers_mean", _mean_or_nan([row.mean_active_workers for row in rows])),
+        ("scale_events_total", float(sum(row.scale_events for row in rows))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# network — capacity placement on a city-scale topology (network study)
+# ---------------------------------------------------------------------------
+
+NETWORK_METRICS = (
+    "static_miss_rate",
+    "reactive_miss_rate",
+    "oracle_miss_rate",
+    "reactive_vs_static_ratio",
+    "reactive_capacity_moved",
+    "detection_latency_windows",
+    "false_positive_raises",
+)
+
+
+def _network_presets():
+    from repro.experiments.network_study import NetworkStudyConfig
+
+    return {
+        "default": NetworkStudyConfig,
+        "quick": NetworkStudyConfig.quick,
+        "paper": NetworkStudyConfig.city_scale,
+        "city": NetworkStudyConfig.city_scale,
+    }
+
+
+def _network_tasks(config: Any) -> Sequence[ShardTask]:
+    from repro.experiments.network_study import network_study_tasks
+
+    return network_study_tasks(config)
+
+
+def _network_row(rows: Sequence[Any], placement: str) -> Any:
+    for row in rows:
+        if row.placement == placement:
+            return row
+    return None
+
+
+def _network_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
+    static = _network_row(rows, "static")
+    reactive = _network_row(rows, "reactive")
+    oracle = _network_row(rows, "oracle")
+    nan = float("nan")
+    static_miss = static.miss_rate if static else nan
+    reactive_miss = reactive.miss_rate if reactive else nan
+    if static and reactive and static.miss_rate > 0:
+        ratio = reactive.miss_rate / static.miss_rate
+    else:
+        ratio = nan
+    return (
+        ("static_miss_rate", static_miss),
+        ("reactive_miss_rate", reactive_miss),
+        ("oracle_miss_rate", oracle.miss_rate if oracle else nan),
+        ("reactive_vs_static_ratio", ratio),
+        ("reactive_capacity_moved", reactive.capacity_moved if reactive else nan),
+        (
+            "detection_latency_windows",
+            float(reactive.detection_latency_windows) if reactive else nan,
+        ),
+        (
+            "false_positive_raises",
+            float(reactive.false_positive_raises) if reactive else nan,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # anneal-hpo — classical SA hyper-parameters on a planted random QUBO
 # ---------------------------------------------------------------------------
 
@@ -262,6 +434,42 @@ def register_builtin_targets() -> None:
             metrics=_robustness_metrics,
             metric_names=ROBUSTNESS_METRICS,
             description="E-X3 — detection robustness under channel impairments",
+        ),
+        replace=True,
+    )
+    register_target(
+        ExperimentTarget(
+            name="serve",
+            presets=_serve_presets(),
+            tasks=_serve_tasks,
+            collect=_serve_collect,
+            metrics=_serve_metrics,
+            metric_names=SERVE_METRICS,
+            description="E-SV — deadline-miss rate vs offered load (serving pool)",
+        ),
+        replace=True,
+    )
+    register_target(
+        ExperimentTarget(
+            name="scenarios",
+            presets=_scenarios_presets(),
+            tasks=_scenarios_tasks,
+            collect=_scenarios_collect,
+            metrics=_scenarios_metrics,
+            metric_names=SCENARIOS_METRICS,
+            description="E-SC — static vs autoscaled pools across the scenario catalog",
+        ),
+        replace=True,
+    )
+    register_target(
+        ExperimentTarget(
+            name="network",
+            presets=_network_presets(),
+            tasks=_network_tasks,
+            collect=_identity_collect,
+            metrics=_network_metrics,
+            metric_names=NETWORK_METRICS,
+            description="city-scale capacity placement: static vs reactive vs oracle",
         ),
         replace=True,
     )

@@ -15,6 +15,7 @@ Installed as ``repro-experiments``::
     repro-experiments robustness      # extension: impairment robustness sweep
     repro-experiments serve           # serving layer: multi-user load sweep
     repro-experiments scenarios       # time-varying scenarios: static vs autoscaled
+    repro-experiments network         # city-scale capacity placement on a topology
     repro-experiments all             # everything, in order
     repro-experiments ablate --spec study.toml   # declarative ablation/HPO study
 
@@ -26,7 +27,7 @@ experiment's natural instance group as one batch); results are identical for
 every batch size thanks to per-instance child generators.
 
 ``--workers N`` shards the sweep-style experiments (fig6, fig8, snr,
-robustness, serve, scenarios) across ``N`` processes — results are
+robustness, serve, scenarios, network) across ``N`` processes — results are
 bitwise-identical to the
 serial run at any worker count.  Shard results are cached on disk under
 ``--cache-dir`` (default ``.repro-cache``) so a re-run with one changed
@@ -69,6 +70,7 @@ from repro.experiments import (
     HeadlineConfig,
     InitializerAblationConfig,
     LoadStudyConfig,
+    NetworkStudyConfig,
     PauseAblationConfig,
     ScenarioStudyConfig,
     PipelineStudyConfig,
@@ -82,6 +84,7 @@ from repro.experiments import (
     format_headline_report,
     format_initializer_table,
     format_load_study_table,
+    format_network_table,
     format_pause_table,
     format_pipeline_table,
     format_robustness_table,
@@ -95,6 +98,7 @@ from repro.experiments import (
     run_headline,
     run_initializer_ablation,
     run_load_study,
+    run_network_study,
     run_pause_ablation,
     run_pipeline_study,
     run_robustness_study,
@@ -209,6 +213,11 @@ def _run_scenarios(scale, batch_size, workers, cache) -> str:
     return format_scenario_table(run_scenario_study(config, workers=workers, cache=cache))
 
 
+def _run_network(scale, batch_size, workers, cache) -> str:
+    config = _select(NetworkStudyConfig, scale)
+    return format_network_table(run_network_study(config, workers=workers, cache=cache))
+
+
 def _run_ablate(spec_path: str, output: Optional[str], workers, cache) -> str:
     """Run one declarative study: print its table, write its JSON artifact."""
     from repro.ablation import format_study_table, load_spec, run_study
@@ -243,6 +252,7 @@ _EXPERIMENTS: Dict[str, _ExperimentRunner] = {
     "robustness": _run_robustness,
     "serve": _run_serve,
     "scenarios": _run_scenarios,
+    "network": _run_network,
 }
 
 
@@ -299,7 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="shard the sweep-style experiments (fig6, fig8, snr, robustness, "
-        "serve, scenarios) across N processes; results are bitwise-identical "
+        "serve, scenarios, network) across N processes; results are bitwise-identical "
         "to the serial run at any worker count (default: serial)",
     )
     parser.add_argument(

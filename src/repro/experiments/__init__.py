@@ -120,6 +120,15 @@ from repro.experiments.robustness_study import (
     run_robustness_study,
     format_robustness_table,
 )
+from repro.experiments.network_study import (
+    PLACEMENTS,
+    NetworkStudyConfig,
+    NetworkStudyRow,
+    NetworkStudyResult,
+    network_study_tasks,
+    run_network_study,
+    format_network_table,
+)
 
 __all__ = [
     "InstanceBundle",
@@ -188,4 +197,11 @@ __all__ = [
     "robustness_tasks",
     "run_robustness_study",
     "format_robustness_table",
+    "PLACEMENTS",
+    "NetworkStudyConfig",
+    "NetworkStudyRow",
+    "NetworkStudyResult",
+    "network_study_tasks",
+    "run_network_study",
+    "format_network_table",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "LoadStudyConfig",
     "LoadStudyRow",
     "LoadStudyResult",
+    "collect_load_rows",
     "load_study_tasks",
     "run_load_study",
     "format_load_study_table",
@@ -260,12 +261,28 @@ def run_load_study(
         load_study_tasks(config)
     )
 
-    rows: List[LoadStudyRow] = []
-    for load_factor, (serialized, pipelined, pooled) in zip(config.load_factors, shards):
+    for load_factor, (_, _, pooled) in zip(config.load_factors, shards):
         telemetry.emit_progress(
             "load-study", load_factor, pooled_miss_rate=pooled.deadline_miss_rate or 0.0
         )
         _log.debug("load_study.point", load_factor=load_factor)
+
+    return LoadStudyResult(
+        rows=collect_load_rows(config, shards), detail=shards[-1][2], config=config
+    )
+
+
+def collect_load_rows(
+    config: LoadStudyConfig,
+    shards: Tuple[Tuple[ServingReport, PipelineReport, ServingReport], ...],
+) -> List[LoadStudyRow]:
+    """Reassemble the sweep's rows from the per-load-factor shard triples.
+
+    Shared by :func:`run_load_study` and the ablation-target binding, so the
+    declarative harness reports exactly the rows the imperative driver does.
+    """
+    rows: List[LoadStudyRow] = []
+    for load_factor, (serialized, pipelined, pooled) in zip(config.load_factors, shards):
         rows.append(
             LoadStudyRow(
                 load_factor=load_factor,
@@ -280,8 +297,7 @@ def run_load_study(
                 pooled_demotion_rate=pooled.demotion_rate,
             )
         )
-
-    return LoadStudyResult(rows=rows, detail=shards[-1][2], config=config)
+    return rows
 
 
 def format_load_study_table(result: LoadStudyResult) -> str:

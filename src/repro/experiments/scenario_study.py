@@ -50,6 +50,7 @@ __all__ = [
     "ScenarioStudyConfig",
     "ScenarioStudyRow",
     "ScenarioStudyResult",
+    "collect_scenario_rows",
     "scenario_study_tasks",
     "run_scenario_study",
     "format_scenario_table",
@@ -286,13 +287,30 @@ def run_scenario_study(
         scenario_study_tasks(config)
     )
 
-    rows: List[ScenarioStudyRow] = []
     for position, name in enumerate(config.scenarios):
-        static = reports[2 * position]
         autoscaled = reports[2 * position + 1]
         telemetry.emit_progress(
             "scenario-study", name, miss_rate=autoscaled.deadline_miss_rate or 0.0
         )
+
+    return ScenarioStudyResult(
+        rows=collect_scenario_rows(config, reports), detail=reports[-1], config=config
+    )
+
+
+def collect_scenario_rows(
+    config: ScenarioStudyConfig, reports: List[ServingReport]
+) -> List[ScenarioStudyRow]:
+    """Pair the (static, autoscaled) shard reports back into catalog rows.
+
+    Shared by :func:`run_scenario_study` and the ablation-target binding, so
+    the declarative harness reports exactly the rows the imperative driver
+    does.
+    """
+    rows: List[ScenarioStudyRow] = []
+    for position, name in enumerate(config.scenarios):
+        static = reports[2 * position]
+        autoscaled = reports[2 * position + 1]
         rows.append(
             ScenarioStudyRow(
                 scenario=name,
@@ -307,8 +325,7 @@ def run_scenario_study(
                 autoscaled_demotion_rate=autoscaled.demotion_rate,
             )
         )
-
-    return ScenarioStudyResult(rows=rows, detail=reports[-1], config=config)
+    return rows
 
 
 def format_scenario_table(result: ScenarioStudyResult) -> str:

@@ -1,0 +1,320 @@
+"""Per-cell KPI streams and O&M-metric hotspot localization.
+
+Following "A New Alternative for Traffic Hotspot Localization in Wireless
+Networks Using O&M Metrics", hotspots are detected from the counters an
+operations system already collects — per-cell arrival counts per KPI window —
+*never* from the scenario's ground-truth intensity field.  The detector
+keeps, per cell, an exponentially weighted moving estimate of the counter's
+mean and variance, scores each new window by its z-score against that
+baseline, and raises a hotspot after ``confirm_windows`` consecutive
+exceedances (clearing it again after ``clear_windows`` quiet windows — the
+hysteresis that keeps a ramping crowd from flapping).
+
+With a :class:`~repro.network.topology.NetworkTopology` attached the raise is
+*localised*: the flagged cell's z-score is compared against its neighbours'
+and the event is attributed to the strongest cell in the neighbourhood, the
+paper's trick for telling a hotspot's centre from its spill-over.
+
+When a telemetry session is active (:func:`repro.telemetry.active`), every
+observation updates ``repro_network_*`` gauges/counters and raises/clears
+emit ``network.hotspot`` trace events — instrumentation only; detector state
+and return values are identical with telemetry off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.exceptions import ConfigurationError
+from repro.network.topology import NetworkTopology
+
+__all__ = [
+    "HotspotDetectorConfig",
+    "HotspotEvent",
+    "HotspotDetector",
+    "cell_counts_from_outcomes",
+]
+
+
+@dataclass(frozen=True)
+class HotspotDetectorConfig:
+    """Tuning knobs of the EWMA/z-score hotspot detector.
+
+    Attributes
+    ----------
+    alpha:
+        EWMA weight of the newest window in the mean/variance baselines
+        (smaller = longer memory, slower to absorb a hotspot into "normal").
+    z_threshold:
+        Z-score a window must exceed to count toward a raise.
+    warmup_windows:
+        Initial windows that only train the baseline (no raises): the first
+        observation seeds the mean, so scoring it would be circular.
+    confirm_windows:
+        Consecutive exceedances required before a hotspot is raised —
+        single-window Poisson flukes never page anyone.
+    clear_windows:
+        Consecutive sub-threshold windows before a raised hotspot clears.
+    min_variance:
+        Variance floor of the z-score denominator; counters are integer
+        counts, so an idle cell's variance estimate may collapse to 0.
+    """
+
+    alpha: float = 0.2
+    z_threshold: float = 4.0
+    warmup_windows: int = 4
+    confirm_windows: int = 2
+    clear_windows: int = 3
+    min_variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must lie in (0, 1], got {self.alpha}")
+        if self.z_threshold <= 0:
+            raise ConfigurationError(
+                f"z_threshold must be positive, got {self.z_threshold}"
+            )
+        if self.warmup_windows < 1:
+            raise ConfigurationError(
+                f"warmup_windows must be at least 1, got {self.warmup_windows}"
+            )
+        if self.confirm_windows < 1:
+            raise ConfigurationError(
+                f"confirm_windows must be at least 1, got {self.confirm_windows}"
+            )
+        if self.clear_windows < 1:
+            raise ConfigurationError(
+                f"clear_windows must be at least 1, got {self.clear_windows}"
+            )
+        if self.min_variance <= 0:
+            raise ConfigurationError(
+                f"min_variance must be positive, got {self.min_variance}"
+            )
+
+
+@dataclass(frozen=True)
+class HotspotEvent:
+    """One detector state transition.
+
+    ``cell_id`` is the *localised* cell (strongest z in the neighbourhood for
+    raises); ``flagged_cell`` is the cell whose counter tripped the
+    threshold — they differ when a spill-over neighbour trips first.
+    """
+
+    window: int
+    time_us: float
+    kind: str  # "raised" or "cleared"
+    cell_id: int
+    flagged_cell: int
+    z_score: float
+    count: int
+
+
+class HotspotDetector:
+    """Streaming per-cell EWMA/z-score detector over KPI counter windows."""
+
+    def __init__(
+        self,
+        num_cells: int,
+        config: Optional[HotspotDetectorConfig] = None,
+        topology: Optional[NetworkTopology] = None,
+    ) -> None:
+        if num_cells <= 0:
+            raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
+        if topology is not None and topology.num_cells != num_cells:
+            raise ConfigurationError(
+                f"topology has {topology.num_cells} cells, detector expects {num_cells}"
+            )
+        self.num_cells = int(num_cells)
+        self.config = config if config is not None else HotspotDetectorConfig()
+        self.topology = topology
+        self.events: List[HotspotEvent] = []
+        self._mean = np.zeros(num_cells)
+        self._variance = np.zeros(num_cells)
+        self._streak = np.zeros(num_cells, dtype=np.int64)
+        self._quiet = np.zeros(num_cells, dtype=np.int64)
+        self._hot: Dict[int, int] = {}  # localised cell -> raise window
+        self._windows_seen = 0
+        self._last_z = np.zeros(num_cells)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hot_cells(self) -> Tuple[int, ...]:
+        """Currently raised (localised) hotspot cells, sorted."""
+        return tuple(sorted(self._hot))
+
+    @property
+    def windows_seen(self) -> int:
+        """Number of observed KPI windows."""
+        return self._windows_seen
+
+    def z_score(self, cell_id: int) -> float:
+        """The most recent window's z-score for ``cell_id``."""
+        if not 0 <= cell_id < self.num_cells:
+            raise ConfigurationError(
+                f"cell_id {cell_id} outside the {self.num_cells}-cell detector"
+            )
+        return float(self._last_z[cell_id])
+
+    def observe(
+        self, window: int, time_us: float, counts: Sequence[int]
+    ) -> List[HotspotEvent]:
+        """Score one KPI window of per-cell counts; return state transitions.
+
+        ``counts`` must hold one non-negative count per cell.  Baselines are
+        scored first, updated second: a window is always judged against the
+        history that *preceded* it.  During a raised hotspot the flagged
+        cell's baseline is frozen so a long crowd does not teach the detector
+        that 6x demand is normal.
+        """
+        values = np.asarray(counts, dtype=float)
+        if values.shape != (self.num_cells,):
+            raise ConfigurationError(
+                f"expected {self.num_cells} per-cell counts, got shape {values.shape}"
+            )
+        if np.any(values < 0):
+            raise ConfigurationError("counts must be non-negative")
+        config = self.config
+        transitions: List[HotspotEvent] = []
+
+        if self._windows_seen == 0:
+            self._mean = values.copy()
+            self._variance = np.maximum(values, config.min_variance)
+            self._last_z = np.zeros(self.num_cells)
+            self._windows_seen = 1
+            self._emit_telemetry(window, time_us, values)
+            return transitions
+
+        sigma = np.sqrt(np.maximum(self._variance, config.min_variance))
+        scores = (values - self._mean) / sigma
+        self._last_z = scores
+        in_warmup = self._windows_seen < config.warmup_windows
+
+        above = (scores > config.z_threshold) & ~in_warmup
+        self._streak = np.where(above, self._streak + 1, 0)
+        self._quiet = np.where(above, 0, self._quiet + 1)
+
+        for cell_id in np.nonzero(self._streak >= config.confirm_windows)[0]:
+            flagged = int(cell_id)
+            localised = self._localise(flagged)
+            if localised not in self._hot:
+                self._hot[localised] = window
+                transitions.append(
+                    HotspotEvent(
+                        window=window,
+                        time_us=time_us,
+                        kind="raised",
+                        cell_id=localised,
+                        flagged_cell=flagged,
+                        z_score=float(scores[flagged]),
+                        count=int(values[flagged]),
+                    )
+                )
+
+        for localised in sorted(self._hot):
+            if self._quiet[localised] >= config.clear_windows:
+                del self._hot[localised]
+                transitions.append(
+                    HotspotEvent(
+                        window=window,
+                        time_us=time_us,
+                        kind="cleared",
+                        cell_id=localised,
+                        flagged_cell=localised,
+                        z_score=float(scores[localised]),
+                        count=int(values[localised]),
+                    )
+                )
+
+        # EWMA update last, frozen for cells whose streak is live so the
+        # baseline keeps describing *normal* traffic.
+        frozen = self._streak > 0
+        alpha = config.alpha
+        delta = values - self._mean
+        new_mean = self._mean + alpha * delta
+        new_variance = (1.0 - alpha) * (self._variance + alpha * delta * delta)
+        self._mean = np.where(frozen, self._mean, new_mean)
+        self._variance = np.where(frozen, self._variance, new_variance)
+        self._windows_seen += 1
+
+        self.events.extend(transitions)
+        self._emit_telemetry(window, time_us, values, transitions)
+        return transitions
+
+    # ------------------------------------------------------------------ #
+
+    def _localise(self, flagged: int) -> int:
+        """Attribute a raise to the strongest cell in the neighbourhood."""
+        if self.topology is None:
+            return flagged
+        candidates = (flagged,) + self.topology.neighbors(flagged)
+        # Ties break toward the lowest cell id for determinism.
+        return int(
+            max(candidates, key=lambda cell: (float(self._last_z[cell]), -cell))
+        )
+
+    def _emit_telemetry(
+        self,
+        window: int,
+        time_us: float,
+        values: np.ndarray,
+        transitions: Sequence[HotspotEvent] = (),
+    ) -> None:
+        tel = telemetry.active()
+        if tel is None:
+            return
+        tel.registry.counter("repro_network_kpi_windows_total").inc()
+        tel.registry.gauge("repro_network_hot_cells").set(len(self._hot))
+        tel.registry.gauge("repro_network_peak_cell_count").set(float(values.max()))
+        for event in transitions:
+            tel.registry.counter(
+                "repro_network_hotspot_events_total", kind=event.kind
+            ).inc()
+            tel.tracer.event(
+                "network.hotspot",
+                time_us=time_us,
+                clock=telemetry.CLOCK_SIM,
+                window=window,
+                kind=event.kind,
+                cell_id=event.cell_id,
+                flagged_cell=event.flagged_cell,
+                z_score=event.z_score,
+                count=event.count,
+            )
+
+
+def cell_counts_from_outcomes(
+    outcomes: Sequence[object], num_cells: int, window_us: float
+) -> np.ndarray:
+    """Bin served-job outcomes into the per-cell KPI counter matrix.
+
+    Bridges the detailed serving simulator to the detector: any sequence of
+    objects with ``cell_id`` and ``arrival_us`` attributes (e.g.
+    :class:`~repro.serving.report.JobOutcome` or
+    :class:`~repro.serving.workload.ServingJob`) becomes the same
+    ``(num_windows, num_cells)`` count matrix :func:`cell_window_counts`
+    produces at the aggregate level.
+    """
+    if num_cells <= 0:
+        raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
+    if window_us <= 0:
+        raise ConfigurationError(f"window_us must be positive, got {window_us}")
+    if not outcomes:
+        return np.zeros((0, num_cells), dtype=np.int64)
+    horizon = max(float(outcome.arrival_us) for outcome in outcomes)
+    windows = int(math.floor(horizon / window_us)) + 1
+    counts = np.zeros((windows, num_cells), dtype=np.int64)
+    for outcome in outcomes:
+        cell = int(outcome.cell_id)
+        if not 0 <= cell < num_cells:
+            raise ConfigurationError(
+                f"outcome cell_id {cell} outside the {num_cells}-cell layout"
+            )
+        counts[int(float(outcome.arrival_us) // window_us), cell] += 1
+    return counts

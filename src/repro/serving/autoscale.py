@@ -24,7 +24,7 @@ The control loop and its parameters are documented in ``docs/scenarios.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.serving.backends import (
@@ -67,6 +67,14 @@ class AutoscaleConfig:
     cooldown_us:
         Minimum simulated time between two scaling actions, preventing
         thrash around a threshold.
+    hotspot_queue_per_cell:
+        Optional per-*cell* queue-depth threshold.  When set (and the
+        simulator was given a topology so it reports per-cell depths), the
+        controller also scales up when any single cell's queued jobs exceed
+        this — a localized flash crowd can overload one cell long before
+        the network-wide queue per worker looks deep.  ``None`` (default)
+        disables the signal and reproduces the pre-network controller
+        bitwise.
     """
 
     interval_us: float = 250.0
@@ -77,6 +85,7 @@ class AutoscaleConfig:
     scale_down_queue_per_worker: float = 0.5
     pressure_fraction: float = 0.1
     cooldown_us: float = 500.0
+    hotspot_queue_per_cell: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.interval_us <= 0:
@@ -114,6 +123,11 @@ class AutoscaleConfig:
         if self.cooldown_us < 0:
             raise ConfigurationError(
                 f"cooldown_us must be non-negative, got {self.cooldown_us}"
+            )
+        if self.hotspot_queue_per_cell is not None and self.hotspot_queue_per_cell <= 0:
+            raise ConfigurationError(
+                "hotspot_queue_per_cell must be positive or None, got "
+                f"{self.hotspot_queue_per_cell}"
             )
 
 
@@ -270,8 +284,14 @@ class AutoscaleController:
         queue: Sequence[ServingJob],
         pool: ElasticBackendPool,
         pressured_count: int,
+        cell_queue_depths: Optional[Dict[int, int]] = None,
     ) -> Optional[AutoscaleEvent]:
-        """Observe the system at ``now_us`` and take at most one scaling action."""
+        """Observe the system at ``now_us`` and take at most one scaling action.
+
+        ``cell_queue_depths`` (queued jobs per cell id) feeds the optional
+        ``hotspot_queue_per_cell`` signal; the simulator supplies it when a
+        topology is attached and the threshold is configured.
+        """
         config = self.config
         active = pool.active_annealer_count
         ceiling = pool.max_annealer_workers
@@ -281,6 +301,14 @@ class AutoscaleController:
         per_worker = depth / max(active, 1)
         deadline_jobs = sum(1 for job in queue if job.deadline_us is not None)
         pressure = pressured_count / deadline_jobs if deadline_jobs else 0.0
+        hotspot = (
+            config.hotspot_queue_per_cell is not None
+            and cell_queue_depths is not None
+            and any(
+                cell_depth > config.hotspot_queue_per_cell
+                for cell_depth in cell_queue_depths.values()
+            )
+        )
         if now_us - self._last_action_us < config.cooldown_us - 1e-9:
             return None
 
@@ -288,14 +316,16 @@ class AutoscaleController:
         if active < ceiling and (
             per_worker > config.scale_up_queue_per_worker
             or pressure > config.pressure_fraction
+            or hotspot
         ):
             worker = pool.activate_worker(now_us, config.warmup_us)
             if worker is not None:
-                reason = (
-                    "deadline-pressure"
-                    if pressure > config.pressure_fraction
-                    else "queue-depth"
-                )
+                if pressure > config.pressure_fraction:
+                    reason = "deadline-pressure"
+                elif per_worker > config.scale_up_queue_per_worker:
+                    reason = "queue-depth"
+                else:
+                    reason = "cell-hotspot"
                 event = AutoscaleEvent(
                     time_us=now_us,
                     action="scale-up",

@@ -18,6 +18,14 @@ discipline keeps every workload exactly reproducible for a fixed seed.
 A catalog of named, documented scenarios is exposed through
 :func:`build_scenario` / :data:`SCENARIO_NAMES`; the parameters and phase
 timelines are described in ``docs/scenarios.md``.
+
+Scenarios are *topology-aware*: attaching a
+:class:`~repro.network.topology.NetworkTopology` switches the spatial phases
+from implicit index arithmetic (``cell_id +- 1`` adjacency, index distance)
+to the layout's real neighbour graph and plane positions.  On a ``line``
+topology both formulations agree bitwise — the compatibility contract spelled
+out in ``docs/network.md`` — and with no topology attached (the default)
+every code path is byte-for-byte the pre-topology implementation.
 """
 
 from __future__ import annotations
@@ -25,9 +33,10 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.network.topology import NetworkTopology
 
 __all__ = [
     "LoadPhase",
@@ -141,7 +150,10 @@ class FlashCrowdPhase(LoadPhase):
     The target cell's multiplier ramps linearly from ``background`` to
     ``peak`` over the first ``ramp_fraction`` of the phase, holds the peak,
     then ramps back down over the last ``ramp_fraction``.  Every other cell
-    stays at ``background``.
+    stays at ``background`` — unless a ``topology`` is attached and
+    ``neighbor_fraction`` is positive, in which case the target's topology
+    neighbours ride the same ramp at ``neighbor_fraction`` of its amplitude
+    (the crowd's fringe spilling into adjacent cells).
     """
 
     duration_us: float
@@ -149,6 +161,8 @@ class FlashCrowdPhase(LoadPhase):
     peak: float = 6.0
     ramp_fraction: float = 0.25
     background: float = 1.0
+    neighbor_fraction: float = 0.0
+    topology: Optional[NetworkTopology] = None
 
     def __post_init__(self) -> None:
         self._check_duration()
@@ -166,18 +180,34 @@ class FlashCrowdPhase(LoadPhase):
             raise ConfigurationError(
                 f"ramp_fraction must lie in (0, 0.5], got {self.ramp_fraction}"
             )
+        if not 0.0 <= self.neighbor_fraction <= 1.0:
+            raise ConfigurationError(
+                f"neighbor_fraction must lie in [0, 1], got {self.neighbor_fraction}"
+            )
+        if self.neighbor_fraction > 0.0 and self.topology is None:
+            raise ConfigurationError(
+                "neighbor_fraction needs a topology to know who the neighbours are"
+            )
+
+    def _weight(self, t_us: float) -> float:
+        u = min(max(t_us / self.duration_us, 0.0), 1.0)
+        if u < self.ramp_fraction:
+            return u / self.ramp_fraction
+        if u > 1.0 - self.ramp_fraction:
+            return (1.0 - u) / self.ramp_fraction
+        return 1.0
 
     def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
         if cell_id != self.cell_id:
+            if (
+                self.neighbor_fraction > 0.0
+                and self.topology is not None
+                and cell_id in self.topology.neighbors(self.cell_id)
+            ):
+                spill = self.neighbor_fraction * (self.peak - self.background)
+                return self.background + spill * self._weight(t_us)
             return self.background
-        u = min(max(t_us / self.duration_us, 0.0), 1.0)
-        if u < self.ramp_fraction:
-            weight = u / self.ramp_fraction
-        elif u > 1.0 - self.ramp_fraction:
-            weight = (1.0 - u) / self.ramp_fraction
-        else:
-            weight = 1.0
-        return self.background + (self.peak - self.background) * weight
+        return self.background + (self.peak - self.background) * self._weight(t_us)
 
     def peak_intensity(self) -> float:
         return self.peak
@@ -190,16 +220,21 @@ class FlashCrowdPhase(LoadPhase):
 class HotspotDriftPhase(LoadPhase):
     """A hotspot that migrates across the cell grid over the phase.
 
-    The hotspot centre moves linearly from cell 0 to cell ``num_cells - 1``;
-    a cell within ``width_cells`` of the centre is boosted toward ``peak``
+    The hotspot centre moves linearly from the first cell to the last; a
+    cell within ``width_cells`` of the centre is boosted toward ``peak``
     with a triangular profile, modelling a crowd (commuters, a convoy)
-    traversing the coverage area.
+    traversing the coverage area.  Without a topology the centre moves
+    through *index* space (cell 0 to cell ``num_cells - 1``); with one it
+    moves through the coverage *plane*, from the first cell's position to the
+    last cell's, and proximity is Euclidean distance — on a line layout the
+    two are bitwise identical.
     """
 
     duration_us: float
     peak: float = 4.0
     width_cells: float = 1.0
     background: float = 1.0
+    topology: Optional[NetworkTopology] = None
 
     def __post_init__(self) -> None:
         self._check_duration()
@@ -218,8 +253,17 @@ class HotspotDriftPhase(LoadPhase):
 
     def intensity(self, cell_id: int, num_cells: int, t_us: float) -> float:
         u = min(max(t_us / self.duration_us, 0.0), 1.0)
-        centre = u * max(num_cells - 1, 0)
-        proximity = max(0.0, 1.0 - abs(cell_id - centre) / self.width_cells)
+        if self.topology is not None:
+            first_x, first_y = self.topology.position(0)
+            last_x, last_y = self.topology.position(self.topology.num_cells - 1)
+            centre_x = first_x + u * (last_x - first_x)
+            centre_y = first_y + u * (last_y - first_y)
+            cell_x, cell_y = self.topology.position(cell_id)
+            offset = math.hypot(cell_x - centre_x, cell_y - centre_y)
+        else:
+            centre = u * max(num_cells - 1, 0)
+            offset = abs(cell_id - centre)
+        proximity = max(0.0, 1.0 - offset / self.width_cells)
         return self.background + (self.peak - self.background) * proximity
 
     def peak_intensity(self) -> float:
@@ -232,8 +276,10 @@ class CellOutagePhase(LoadPhase):
 
     The outage cell's multiplier drops to ``residual`` (0 by default — the
     cell is silent) and ``spill_fraction`` of its nominal load is split
-    evenly between its grid neighbours (``cell_id - 1`` and ``cell_id + 1``
-    where they exist), modelling users re-attaching to adjacent cells.  The
+    evenly between its neighbours, modelling users re-attaching to adjacent
+    cells.  With a ``topology`` attached the neighbours come from its graph
+    (4 on a grid, up to 6 on a hex tiling); without one they are the legacy
+    implicit line neighbours ``cell_id +- 1`` where they exist.  The
     remaining cells stay at ``background``.
     """
 
@@ -242,6 +288,7 @@ class CellOutagePhase(LoadPhase):
     spill_fraction: float = 1.0
     background: float = 1.0
     residual: float = 0.0
+    topology: Optional[NetworkTopology] = None
 
     def __post_init__(self) -> None:
         self._check_duration()
@@ -261,6 +308,8 @@ class CellOutagePhase(LoadPhase):
             )
 
     def _neighbours(self, num_cells: int) -> Tuple[int, ...]:
+        if self.topology is not None:
+            return self.topology.neighbors(self.cell_id)
         return tuple(
             cell
             for cell in (self.cell_id - 1, self.cell_id + 1)
@@ -291,17 +340,26 @@ class NetworkScenario:
     ``intensity(cell_id, t_us)`` evaluates the phase containing absolute
     time ``t_us`` (phases abut; time before 0 or at/after ``duration_us``
     yields 0 — no arrivals are generated outside the scenario horizon).
+
+    An optional :class:`~repro.network.topology.NetworkTopology` records the
+    layout the phases were built against; it must agree with ``num_cells``.
     """
 
     name: str
     num_cells: int
     phases: Tuple[LoadPhase, ...]
     description: str = ""
+    topology: Optional[NetworkTopology] = None
 
     def __post_init__(self) -> None:
         if self.num_cells <= 0:
             raise ConfigurationError(
                 f"num_cells must be positive, got {self.num_cells}"
+            )
+        if self.topology is not None and self.topology.num_cells != self.num_cells:
+            raise ConfigurationError(
+                f"topology has {self.topology.num_cells} cells, scenario declares "
+                f"{self.num_cells}"
             )
         if not self.phases:
             raise ConfigurationError("a scenario needs at least one phase")
@@ -367,18 +425,30 @@ SCENARIO_NAMES: Tuple[str, ...] = (
 
 
 def build_scenario(
-    name: str, num_cells: int, horizon_us: float = 20_000.0
+    name: str,
+    num_cells: int,
+    horizon_us: float = 20_000.0,
+    topology: Optional[NetworkTopology] = None,
 ) -> NetworkScenario:
     """Instantiate a named catalog scenario for a ``num_cells`` grid.
 
     ``horizon_us`` is the total simulated-time span of the scenario; each
     catalog entry splits it into its characteristic phase timeline.  See
     ``docs/scenarios.md`` for the timelines and the reproduce commands.
+
+    Passing a ``topology`` (with ``topology.num_cells == num_cells``) makes
+    the spatial phases use its neighbour graph and positions; omitting it
+    keeps the legacy implicit-line behaviour bitwise.
     """
     if num_cells <= 0:
         raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
     if horizon_us <= 0:
         raise ConfigurationError(f"horizon_us must be positive, got {horizon_us}")
+    if topology is not None and topology.num_cells != num_cells:
+        raise ConfigurationError(
+            f"topology has {topology.num_cells} cells, build_scenario was asked "
+            f"for {num_cells}"
+        )
 
     mid_cell = num_cells // 2
     if name == "steady":
@@ -387,6 +457,7 @@ def build_scenario(
             num_cells=num_cells,
             phases=(ConstantPhase(horizon_us),),
             description="stationary nominal load on every cell (the control arm)",
+            topology=topology,
         )
     if name == "diurnal":
         return NetworkScenario(
@@ -398,6 +469,7 @@ def build_scenario(
                 ),
             ),
             description="two day/night waves whose crest sweeps across the grid",
+            topology=topology,
         )
     if name == "flash-crowd":
         return NetworkScenario(
@@ -405,17 +477,21 @@ def build_scenario(
             num_cells=num_cells,
             phases=(
                 ConstantPhase(0.25 * horizon_us),
-                FlashCrowdPhase(0.5 * horizon_us, cell_id=mid_cell, peak=6.0),
+                FlashCrowdPhase(
+                    0.5 * horizon_us, cell_id=mid_cell, peak=6.0, topology=topology
+                ),
                 ConstantPhase(0.25 * horizon_us),
             ),
             description="a 6x demand spike erupts in the middle cell and subsides",
+            topology=topology,
         )
     if name == "hotspot-drift":
         return NetworkScenario(
             name=name,
             num_cells=num_cells,
-            phases=(HotspotDriftPhase(horizon_us, peak=4.0),),
+            phases=(HotspotDriftPhase(horizon_us, peak=4.0, topology=topology),),
             description="a 4x hotspot migrates from the first cell to the last",
+            topology=topology,
         )
     if name == "cell-outage":
         return NetworkScenario(
@@ -423,10 +499,11 @@ def build_scenario(
             num_cells=num_cells,
             phases=(
                 ConstantPhase(0.25 * horizon_us),
-                CellOutagePhase(0.5 * horizon_us, cell_id=mid_cell),
+                CellOutagePhase(0.5 * horizon_us, cell_id=mid_cell, topology=topology),
                 ConstantPhase(0.25 * horizon_us),
             ),
             description="the middle cell goes dark; its load spills to neighbours",
+            topology=topology,
         )
     if name == "busy-day":
         return NetworkScenario(
@@ -434,11 +511,14 @@ def build_scenario(
             num_cells=num_cells,
             phases=(
                 DiurnalPhase(0.4 * horizon_us, amplitude=0.5, cycles=1.0),
-                FlashCrowdPhase(0.25 * horizon_us, cell_id=mid_cell, peak=5.0),
-                CellOutagePhase(0.2 * horizon_us, cell_id=0),
+                FlashCrowdPhase(
+                    0.25 * horizon_us, cell_id=mid_cell, peak=5.0, topology=topology
+                ),
+                CellOutagePhase(0.2 * horizon_us, cell_id=0, topology=topology),
                 ConstantPhase(0.15 * horizon_us, level=0.8),
             ),
             description="a composite day: diurnal ramp, flash crowd, outage, cool-down",
+            topology=topology,
         )
     raise ConfigurationError(
         f"unknown scenario {name!r}; catalog: {', '.join(SCENARIO_NAMES)}"

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.exceptions import ConfigurationError
+from repro.network.topology import NetworkTopology
 from repro.serving.autoscale import AutoscaleController, ElasticBackendPool
 from repro.serving.events import EventQueue
 from repro.serving.pool import BackendPool, Worker, build_pool
@@ -84,6 +85,14 @@ class RANServingSimulator:
         then schedules periodic autoscale events on the event queue and the
         controller flexes the active annealer worker count from observed
         queue depth and deadline pressure.
+    topology:
+        Optional :class:`~repro.network.topology.NetworkTopology` the
+        workload's cells live on.  Job cell ids are validated against it,
+        it is recorded in the report metadata, and — when the autoscaler's
+        ``hotspot_queue_per_cell`` threshold is set — per-cell queue depths
+        are fed to the controller so a single overloaded cell can trigger
+        scale-up before the *network-wide* queue looks deep.  Omitting it
+        changes nothing about the simulation.
     """
 
     def __init__(
@@ -94,6 +103,7 @@ class RANServingSimulator:
         admission_control: bool = True,
         evaluate_solutions: bool = False,
         autoscaler: Optional[AutoscaleController] = None,
+        topology: Optional[NetworkTopology] = None,
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
             raise ConfigurationError(
@@ -110,6 +120,7 @@ class RANServingSimulator:
                 f"{type(self.pool).__name__}"
             )
         self.autoscaler = autoscaler
+        self.topology = topology
 
     # ------------------------------------------------------------------ #
 
@@ -121,6 +132,13 @@ class RANServingSimulator:
         ids = [job.job_id for job in ordered]
         if len(set(ids)) != len(ids):
             raise ConfigurationError("jobs must carry unique job_ids")
+        if self.topology is not None:
+            for job in ordered:
+                if not 0 <= job.cell_id < self.topology.num_cells:
+                    raise ConfigurationError(
+                        f"job {job.job_id} sits in cell {job.cell_id}, outside the "
+                        f"topology's {self.topology.num_cells}-cell layout"
+                    )
         # One lookup per run; job-lifecycle spans are emitted post-hoc from
         # the outcomes, so the event loop below carries no per-job telemetry
         # cost and disabled mode is equivalent to the uninstrumented loop.
@@ -161,7 +179,15 @@ class RANServingSimulator:
                     autoscale_tick = True
             if autoscale_tick and self.autoscaler is not None:
                 pressured = sum(1 for job in queue if self._pressured(job, now))
-                action = self.autoscaler.step(now, queue, self.pool, pressured)
+                if self.autoscaler.config.hotspot_queue_per_cell is not None:
+                    depths: Dict[int, int] = {}
+                    for job in queue:
+                        depths[job.cell_id] = depths.get(job.cell_id, 0) + 1
+                    action = self.autoscaler.step(
+                        now, queue, self.pool, pressured, cell_queue_depths=depths
+                    )
+                else:
+                    action = self.autoscaler.step(now, queue, self.pool, pressured)
                 if tel is not None:
                     active = self.pool.active_annealer_count
                     tel.registry.gauge("repro_serving_queue_depth").set(len(queue))
@@ -201,6 +227,9 @@ class RANServingSimulator:
             "num_annealer_workers": len(self.pool.annealer_workers),
             "num_classical_workers": len(self.pool.classical_workers),
         }
+        if self.topology is not None:
+            metadata["topology_kind"] = self.topology.kind
+            metadata["num_cells"] = self.topology.num_cells
         if self.autoscaler is not None:
             end_us = max(outcome.finish_us for outcome in outcomes)
             metadata.update(
@@ -377,8 +406,21 @@ def _emit_serving_telemetry(tel: "telemetry.TelemetrySession", report: ServingRe
     misses = tel.registry.counter("repro_serving_deadline_misses_total", policy=policy)
     demotions = tel.registry.counter("repro_serving_demotions_total", policy=policy)
     latency = tel.registry.histogram("repro_serving_latency_us", policy=policy)
+    # Per-cell O&M counters: the KPI stream the network layer's hotspot
+    # detector consumes (see repro.network.kpi).
+    cell_jobs: Dict[int, object] = {}
+    cell_misses: Dict[int, object] = {}
     for outcome in report.outcomes:
         jobs.inc()
+        cell = outcome.cell_id
+        if cell not in cell_jobs:
+            cell_jobs[cell] = tel.registry.counter(
+                "repro_serving_cell_jobs_total", cell=str(cell)
+            )
+            cell_misses[cell] = tel.registry.counter(
+                "repro_serving_cell_deadline_misses_total", cell=str(cell)
+            )
+        cell_jobs[cell].inc()
         latency.observe(outcome.latency_us)
         job_span = tel.tracer.record_span(
             "serving.job",
@@ -426,6 +468,7 @@ def _emit_serving_telemetry(tel: "telemetry.TelemetrySession", report: ServingRe
             )
         if outcome.met_deadline is False:
             misses.inc()
+            cell_misses[cell].inc()
     # The run event carries the report's own percentiles, so a trace file is
     # self-contained: consumers can check span-derived latencies against the
     # authoritative report without re-running anything.

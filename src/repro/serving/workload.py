@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.network.topology import NetworkTopology
 from repro.serving.scenarios import NetworkScenario
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.wireless.fading import ChannelImpairments
@@ -152,6 +153,7 @@ def uniform_cell_profiles(
     cell_load_factors: Optional[Sequence[float]] = None,
     job_mix: str = "cyclic",
     stagger_phases: bool = True,
+    topology: Optional[NetworkTopology] = None,
 ) -> List[UserProfile]:
     """Lay out ``num_cells * users_per_cell`` users, cycling link configs.
 
@@ -164,9 +166,19 @@ def uniform_cell_profiles(
     With ``stagger_phases`` (default) each cell's users are offset evenly
     across one (cell-scaled) symbol period, so the plant sees a steady
     multi-user stream rather than an artificial synchronized burst at t=0.
+
+    ``topology`` (optional) pins the layout the users live on; it only
+    validates the cell count here — pass the same topology to
+    :func:`generate_serving_jobs` to make interference coupling follow its
+    neighbour graph.
     """
     if num_cells <= 0:
         raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
+    if topology is not None and topology.num_cells != num_cells:
+        raise ConfigurationError(
+            f"topology has {topology.num_cells} cells, profiles were asked for "
+            f"{num_cells}"
+        )
     if users_per_cell <= 0:
         raise ConfigurationError(f"users_per_cell must be positive, got {users_per_cell}")
     if not configs:
@@ -209,6 +221,7 @@ def _interference_scale_for(
     profile: UserProfile,
     scenario: Optional[NetworkScenario],
     cell_load_factors: Optional[Tuple[float, ...]],
+    topology: Optional[NetworkTopology] = None,
 ) -> Optional[Callable[[float], float]]:
     """The interference multiplier a user's stream sees from *other* cells.
 
@@ -218,15 +231,33 @@ def _interference_scale_for(
     instant (a flash crowd next door degrades this cell's SINR while it
     lasts), under static ``cell_load_factors`` to the constant factors.  A
     single-cell layout has no interferers, so the scale is 0.
+
+    With a topology (the scenario's, or the explicit one for static
+    factors), only the user's cell-graph neighbours couple — and the
+    intensity field is evaluated for those neighbours alone, keeping the
+    per-arrival cost O(degree) instead of O(num_cells) at city scale.
     """
     own_cell = profile.cell_id
     if scenario is not None:
+        if scenario.topology is not None:
+            neighbours = scenario.topology.neighbors(own_cell)
+            # Compact layout (own cell at slot 0, neighbours after it) so the
+            # intensity field is only evaluated at the O(degree) neighbours.
+            slots = tuple(range(1, len(neighbours) + 1))
+            return lambda t_us: ChannelImpairments.neighbour_load_scale(
+                0,
+                [0.0] + [scenario.intensity(cell, t_us) for cell in neighbours],
+                neighbours=slots,
+            )
         cells = range(scenario.num_cells)
         return lambda t_us: ChannelImpairments.neighbour_load_scale(
             own_cell, [scenario.intensity(cell, t_us) for cell in cells]
         )
     if cell_load_factors is not None:
-        constant = ChannelImpairments.neighbour_load_scale(own_cell, cell_load_factors)
+        neighbours = topology.neighbors(own_cell) if topology is not None else None
+        constant = ChannelImpairments.neighbour_load_scale(
+            own_cell, cell_load_factors, neighbours=neighbours
+        )
         return lambda t_us: constant
     return None
 
@@ -238,6 +269,7 @@ def generate_serving_jobs(
     scenario: Optional[NetworkScenario] = None,
     impairments: Optional[ChannelImpairments] = None,
     cell_load_factors: Optional[Sequence[float]] = None,
+    topology: Optional[NetworkTopology] = None,
 ) -> List[ServingJob]:
     """Draw every user's stream and merge into one arrival-ordered job list.
 
@@ -267,9 +299,27 @@ def generate_serving_jobs(
     :func:`uniform_cell_profiles`).  ``cell_load_factors`` is only
     meaningful with ``impairments`` and is mutually exclusive with
     ``scenario`` (whose timeline already carries the per-cell load).
+
+    ``topology`` restricts static-factor interference coupling to the
+    layout's neighbour graph (under a scenario, attach the topology to the
+    scenario itself — see :func:`~repro.serving.scenarios.build_scenario`).
+    Omitting every topology keeps the legacy fully coupled behaviour
+    bitwise.
     """
     if not profiles:
         raise ConfigurationError("profiles must not be empty")
+    if topology is not None:
+        if scenario is not None:
+            raise ConfigurationError(
+                "pass the topology on the scenario (build_scenario(..., "
+                "topology=...)), not alongside it"
+            )
+        highest_profile_cell = max(profile.cell_id for profile in profiles)
+        if highest_profile_cell >= topology.num_cells:
+            raise ConfigurationError(
+                f"user cell {highest_profile_cell} outside the topology's "
+                f"{topology.num_cells}-cell layout"
+            )
     if cell_load_factors is not None:
         if scenario is not None:
             raise ConfigurationError(
@@ -319,7 +369,7 @@ def generate_serving_jobs(
     tagged: List[Tuple[float, int, int, int, ChannelUse]] = []
     for profile, child in zip(profiles, children):
         scale = (
-            _interference_scale_for(profile, scenario, factors)
+            _interference_scale_for(profile, scenario, factors, topology)
             if impairments is not None
             else None
         )

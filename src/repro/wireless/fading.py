@@ -348,26 +348,54 @@ class ChannelImpairments:
         return has_correlation or self.rician_k is not None
 
     @staticmethod
-    def neighbour_load_scale(own_cell: int, cell_load_factors: Sequence[float]) -> float:
-        """Mean load factor of every cell except ``own_cell``.
+    def neighbour_load_scale(
+        own_cell: int,
+        cell_load_factors: Sequence[float],
+        neighbours: Optional[Sequence[int]] = None,
+    ) -> float:
+        """Mean load factor of the cells interfering with ``own_cell``.
 
         The single source of the inter-cell coupling rule: interference
         comes from *other* cells' transmissions, so their mean load scales
-        the nominal power.  A single-cell layout has no interferers and
-        yields 0.  The serving layer applies the same rule to scenario
-        intensities at each arrival instant.
+        the nominal power.  Without ``neighbours`` every other cell
+        interferes (the legacy fully coupled layout; a single-cell layout
+        has no interferers and yields 0).  With a topology's neighbour set,
+        only the adjacent cells couple — distant cells in a city-scale
+        layout do not raise this cell's noise floor.  The serving layer
+        applies the same rule to scenario intensities at each arrival
+        instant.
         """
         factors = tuple(cell_load_factors)
         if not 0 <= own_cell < len(factors):
             raise ConfigurationError(f"own_cell {own_cell} outside {len(factors)} cells")
-        others = [factor for cell, factor in enumerate(factors) if cell != own_cell]
+        if neighbours is None:
+            others = [factor for cell, factor in enumerate(factors) if cell != own_cell]
+        else:
+            others = []
+            for cell in neighbours:
+                if not 0 <= cell < len(factors):
+                    raise ConfigurationError(
+                        f"neighbour {cell} outside {len(factors)} cells"
+                    )
+                if cell == own_cell:
+                    raise ConfigurationError(
+                        f"own_cell {own_cell} listed among its neighbours"
+                    )
+                others.append(factors[cell])
         if not others:
             return 0.0
         return float(np.mean(others))
 
-    def interference_for_load(self, own_cell: int, cell_load_factors: Sequence[float]) -> float:
+    def interference_for_load(
+        self,
+        own_cell: int,
+        cell_load_factors: Sequence[float],
+        neighbours: Optional[Sequence[int]] = None,
+    ) -> float:
         """Interference power seen by ``own_cell`` under per-cell load."""
-        return self.interference_power * self.neighbour_load_scale(own_cell, cell_load_factors)
+        return self.interference_power * self.neighbour_load_scale(
+            own_cell, cell_load_factors, neighbours
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -366,6 +366,15 @@ class TrafficGenerator:
             return self.symbol_period_us
         return float(rng.exponential(self.symbol_period_us))
 
+    @property
+    def nominal_rate_per_us(self) -> float:
+        """Nominal arrival rate (jobs per microsecond) at intensity 1.0.
+
+        The aggregate-traffic layer (:mod:`repro.network.aggregate`) sums
+        this over a cell's population to size the cell's Poisson counters.
+        """
+        return 1.0 / self.symbol_period_us
+
     def offered_load_bits_per_us(self) -> float:
         """Average offered payload load in bits per microsecond.
 

@@ -26,6 +26,7 @@ from repro.ablation.presets import ablation_quick_rows
 from repro.annealing import kernels
 from repro.experiments.fig6_distributions import Figure6Config, run_figure6
 from repro.experiments.fig8_tts import Figure8Config, run_figure8
+from repro.experiments.network_study import NetworkStudyConfig, run_network_study
 from repro.experiments.snr_study import SNRStudyConfig, run_snr_study
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
@@ -39,6 +40,7 @@ STUDIES = {
     "ablation_quick": ablation_quick_rows,
     "fig6_quick": lambda: run_figure6(Figure6Config.quick()),
     "fig8_quick": lambda: run_figure8(Figure8Config.quick()),
+    "network_quick": lambda: run_network_study(NetworkStudyConfig.quick()).rows,
     "snr_quick": lambda: run_snr_study(SNRStudyConfig.quick()),
 }
 
@@ -68,7 +70,11 @@ def _diff(expected, actual, path, lines):
 
 def _row_label(row) -> str:
     """A short identity for one result row, for diff readability."""
-    keys = [k for k in ("modulation", "method", "switch_s", "snr_db", "point_id") if k in row]
+    keys = [
+        k
+        for k in ("modulation", "method", "switch_s", "snr_db", "placement", "point_id")
+        if k in row
+    ]
     return "/".join(str(row[k]) for k in keys) or "row"
 
 
