@@ -13,6 +13,7 @@ Run from the repository root (CI does)::
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import sys
 
@@ -33,6 +34,7 @@ REQUIRED_DOCS = (
     "kernels.md",
     "network.md",
     "parallel.md",
+    "qos.md",
     "scenarios.md",
     "serving.md",
     "telemetry.md",
@@ -40,16 +42,20 @@ REQUIRED_DOCS = (
 
 
 def cli_surface() -> list:
-    """Every subcommand and option flag the parser registers."""
-    parser = build_parser()
-    tokens = []
-    for action in parser._actions:  # argparse has no public introspection API
-        for option in action.option_strings:
-            if option.startswith("--") and option != "--help":
-                tokens.append(option)  # --help is argparse's, not ours
-        if action.dest == "experiment" and action.choices:
-            tokens.extend(sorted(action.choices))
-    return tokens
+    """Every subcommand and option flag the parser tree registers."""
+    flags = set()
+    subcommands = set()
+    stack = [build_parser()]
+    while stack:  # argparse has no public introspection API
+        parser = stack.pop()
+        for action in parser._actions:
+            for option in action.option_strings:
+                if option.startswith("--") and option != "--help":
+                    flags.add(option)  # --help is argparse's, not ours
+            if isinstance(action, argparse._SubParsersAction):
+                subcommands.update(action.choices)
+                stack.extend(action.choices.values())
+    return sorted(flags) + sorted(subcommands)
 
 
 def check_required_docs() -> list:

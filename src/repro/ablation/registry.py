@@ -76,6 +76,33 @@ class ExperimentTarget:
             ) from None
         return factory()
 
+    @classmethod
+    def from_driver(
+        cls,
+        driver: Any,
+        presets: Mapping[str, Callable[[], Any]],
+        description: str = "",
+    ) -> "ExperimentTarget":
+        """Bind an :class:`~repro.experiments.driver.ExperimentDriver`.
+
+        The driver's own ``tasks`` builder produces the shard list (so a
+        study point's cache fingerprints are identical to the imperative
+        entry point's), ``collect`` routes the shard results through the
+        driver's pure ``aggregate``/``rows`` pair, and ``metrics`` /
+        ``metric_names`` come straight off the driver — no per-target glue.
+        """
+        return cls(
+            name=driver.name,
+            presets=presets,
+            tasks=driver.tasks,
+            collect=lambda config, shards: list(
+                driver.rows(driver.aggregate(config, list(shards)))
+            ),
+            metrics=driver.metrics,
+            metric_names=tuple(driver.metric_names),
+            description=description,
+        )
+
 
 _REGISTRY: Dict[str, ExperimentTarget] = {}
 _builtin_loaded = False

@@ -1,19 +1,17 @@
-"""Built-in ablation targets: fig8, robustness, the serving/scenario/network
-drivers, and a synthetic SA HPO sweep.
+"""Built-in ablation targets: fig8, robustness, the serving/scenario/network/
+QoS drivers, and a synthetic SA HPO sweep.
 
-The experiment targets bind the drivers' existing shard builders
-(:func:`~repro.experiments.fig8_tts.figure8_tasks`,
-:func:`~repro.experiments.robustness_study.robustness_tasks`,
-:func:`~repro.experiments.load_study.load_study_tasks`,
-:func:`~repro.experiments.scenario_study.scenario_study_tasks`,
-:func:`~repro.experiments.network_study.network_study_tasks`) so a study
-point's shards are *the same work units* — same functions, same kwargs, same
-cache fingerprints — that a direct ``repro-experiments fig8`` /
-``robustness`` / ``serve`` / ``scenarios`` / ``network`` run produces.  This
-is what makes the harness subsume the imperative drivers bitwise, and it
-means the declarative and imperative paths share one warm cache.  The
-serving-side targets turn pool sizes, autoscale thresholds, and the network
-study's detector/embedder knobs into sweepable axes.
+The experiment targets bind the drivers' :class:`~repro.experiments.driver.
+ExperimentDriver` objects via :meth:`~repro.ablation.registry.
+ExperimentTarget.from_driver`: a study point's shards are *the same work
+units* — same functions, same kwargs, same cache fingerprints — that a
+direct ``repro-experiments fig8`` / ``robustness`` / ``serve`` /
+``scenarios`` / ``network`` / ``qos`` run produces, and the rows and metrics
+come from the driver's own pure ``aggregate``/``metrics`` pair.  This is
+what makes the harness subsume the imperative drivers bitwise, and it means
+the declarative and imperative paths share one warm cache.  The
+serving-side targets turn pool sizes, autoscale thresholds, QoS class mixes
+and the network study's detector/embedder knobs into sweepable axes.
 
 ``anneal-hpo`` is a self-contained hyper-parameter target (simulated
 annealing over a planted random QUBO) used by examples, the property-test
@@ -23,7 +21,6 @@ Pareto path in milliseconds without touching the MIMO stack.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, List, Sequence, Tuple
 
@@ -40,27 +37,8 @@ __all__ = [
 ]
 
 
-def _finite_or_nan(values: Sequence[float]) -> float:
-    """Minimum of the finite values, NaN when there are none."""
-    finite = [value for value in values if math.isfinite(value)]
-    return min(finite) if finite else float("nan")
-
-
 def _mean_or_nan(values: Sequence[float]) -> float:
     return float(np.mean(values)) if len(values) else float("nan")
-
-
-# ---------------------------------------------------------------------------
-# fig8 — success probability and TTS vs s_p (paper Figure 8)
-# ---------------------------------------------------------------------------
-
-FIG8_METRICS = (
-    "success_probability_max",
-    "fa_tts_us_min",
-    "ra_greedy_tts_us_min",
-    "tts_speedup",
-    "duration_us_mean",
-)
 
 
 def _fig8_presets():
@@ -73,50 +51,6 @@ def _fig8_presets():
     }
 
 
-def _fig8_tasks(config: Any) -> Sequence[ShardTask]:
-    from repro.experiments.fig8_tts import figure8_tasks
-
-    return figure8_tasks(config)
-
-
-def _flatten_shards(config: Any, shards: Sequence[Any]) -> List[Any]:
-    """Row lists per shard -> one flat row list, in task order."""
-    return [row for shard in shards for row in shard]
-
-
-def _fig8_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
-    fa_tts = _finite_or_nan([row.tts_us for row in rows if row.method == "FA"])
-    ra_tts = _finite_or_nan([row.tts_us for row in rows if row.method == "RA-greedy"])
-    if math.isfinite(fa_tts) and math.isfinite(ra_tts) and ra_tts > 0:
-        speedup = fa_tts / ra_tts
-    else:
-        speedup = float("nan")
-    return (
-        (
-            "success_probability_max",
-            max((row.success_probability for row in rows), default=float("nan")),
-        ),
-        ("fa_tts_us_min", fa_tts),
-        ("ra_greedy_tts_us_min", ra_tts),
-        ("tts_speedup", speedup),
-        ("duration_us_mean", _mean_or_nan([row.duration_us for row in rows])),
-    )
-
-
-# ---------------------------------------------------------------------------
-# robustness — detection quality under channel impairments (E-X3)
-# ---------------------------------------------------------------------------
-
-ROBUSTNESS_METRICS = (
-    "hybrid_ber_mean",
-    "mmse_ber_mean",
-    "zero_forcing_ber_mean",
-    "hybrid_optimum_rate_mean",
-    "hybrid_time_us_mean",
-    "hybrid_time_us_p95",
-)
-
-
 def _robustness_presets():
     from repro.experiments.robustness_study import RobustnessStudyConfig
 
@@ -125,43 +59,6 @@ def _robustness_presets():
         "quick": RobustnessStudyConfig.quick,
         "paper": RobustnessStudyConfig.paper_scale,
     }
-
-
-def _robustness_tasks(config: Any) -> Sequence[ShardTask]:
-    from repro.experiments.robustness_study import robustness_tasks
-
-    return robustness_tasks(config)
-
-
-def _identity_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
-    """Each shard result already is one row."""
-    return list(shards)
-
-
-def _robustness_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
-    times = [row.hybrid_time_us for row in rows]
-    return (
-        ("hybrid_ber_mean", _mean_or_nan([row.hybrid_ber for row in rows])),
-        ("mmse_ber_mean", _mean_or_nan([row.mmse_ber for row in rows])),
-        ("zero_forcing_ber_mean", _mean_or_nan([row.zero_forcing_ber for row in rows])),
-        ("hybrid_optimum_rate_mean", _mean_or_nan([row.hybrid_optimum_rate for row in rows])),
-        ("hybrid_time_us_mean", _mean_or_nan(times)),
-        ("hybrid_time_us_p95", float(np.percentile(times, 95)) if times else float("nan")),
-    )
-
-
-# ---------------------------------------------------------------------------
-# serve — offered-load sweep of the serving architectures (E-SV)
-# ---------------------------------------------------------------------------
-
-SERVE_METRICS = (
-    "pooled_miss_rate_mean",
-    "pooled_miss_rate_max",
-    "serialized_miss_rate_mean",
-    "pipelined_miss_rate_mean",
-    "pooled_p95_us_max",
-    "pooled_demotion_rate_mean",
-)
 
 
 def _serve_presets():
@@ -174,44 +71,6 @@ def _serve_presets():
     }
 
 
-def _serve_tasks(config: Any) -> Sequence[ShardTask]:
-    from repro.experiments.load_study import load_study_tasks
-
-    return load_study_tasks(config)
-
-
-def _serve_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
-    from repro.experiments.load_study import collect_load_rows
-
-    return collect_load_rows(config, shards)
-
-
-def _serve_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
-    pooled = [row.pooled_miss_rate for row in rows]
-    return (
-        ("pooled_miss_rate_mean", _mean_or_nan(pooled)),
-        ("pooled_miss_rate_max", max(pooled, default=float("nan"))),
-        ("serialized_miss_rate_mean", _mean_or_nan([row.serialized_miss_rate for row in rows])),
-        ("pipelined_miss_rate_mean", _mean_or_nan([row.pipelined_miss_rate for row in rows])),
-        ("pooled_p95_us_max", max((row.pooled_p95_us for row in rows), default=float("nan"))),
-        ("pooled_demotion_rate_mean", _mean_or_nan([row.pooled_demotion_rate for row in rows])),
-    )
-
-
-# ---------------------------------------------------------------------------
-# scenarios — static vs autoscaled pools across the scenario catalog (E-SC)
-# ---------------------------------------------------------------------------
-
-SCENARIOS_METRICS = (
-    "autoscaled_miss_rate_mean",
-    "autoscaled_miss_rate_max",
-    "static_miss_rate_mean",
-    "autoscaled_p99_us_max",
-    "mean_active_workers_mean",
-    "scale_events_total",
-)
-
-
 def _scenarios_presets():
     from repro.experiments.scenario_study import ScenarioStudyConfig
 
@@ -220,48 +79,6 @@ def _scenarios_presets():
         "quick": ScenarioStudyConfig.quick,
         "paper": ScenarioStudyConfig.paper_scale,
     }
-
-
-def _scenarios_tasks(config: Any) -> Sequence[ShardTask]:
-    from repro.experiments.scenario_study import scenario_study_tasks
-
-    return scenario_study_tasks(config)
-
-
-def _scenarios_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
-    from repro.experiments.scenario_study import collect_scenario_rows
-
-    return collect_scenario_rows(config, list(shards))
-
-
-def _scenarios_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
-    autoscaled = [row.autoscaled_miss_rate for row in rows]
-    return (
-        ("autoscaled_miss_rate_mean", _mean_or_nan(autoscaled)),
-        ("autoscaled_miss_rate_max", max(autoscaled, default=float("nan"))),
-        ("static_miss_rate_mean", _mean_or_nan([row.static_miss_rate for row in rows])),
-        (
-            "autoscaled_p99_us_max",
-            max((row.autoscaled_p99_us for row in rows), default=float("nan")),
-        ),
-        ("mean_active_workers_mean", _mean_or_nan([row.mean_active_workers for row in rows])),
-        ("scale_events_total", float(sum(row.scale_events for row in rows))),
-    )
-
-
-# ---------------------------------------------------------------------------
-# network — capacity placement on a city-scale topology (network study)
-# ---------------------------------------------------------------------------
-
-NETWORK_METRICS = (
-    "static_miss_rate",
-    "reactive_miss_rate",
-    "oracle_miss_rate",
-    "reactive_vs_static_ratio",
-    "reactive_capacity_moved",
-    "detection_latency_windows",
-    "false_positive_raises",
-)
 
 
 def _network_presets():
@@ -275,45 +92,19 @@ def _network_presets():
     }
 
 
-def _network_tasks(config: Any) -> Sequence[ShardTask]:
-    from repro.experiments.network_study import network_study_tasks
+def _qos_presets():
+    from repro.experiments.qos_study import QoSStudyConfig
 
-    return network_study_tasks(config)
-
-
-def _network_row(rows: Sequence[Any], placement: str) -> Any:
-    for row in rows:
-        if row.placement == placement:
-            return row
-    return None
+    return {
+        "default": QoSStudyConfig,
+        "quick": QoSStudyConfig.quick,
+        "paper": QoSStudyConfig.paper_scale,
+    }
 
 
-def _network_metrics(rows: Sequence[Any]) -> Tuple[Tuple[str, float], ...]:
-    static = _network_row(rows, "static")
-    reactive = _network_row(rows, "reactive")
-    oracle = _network_row(rows, "oracle")
-    nan = float("nan")
-    static_miss = static.miss_rate if static else nan
-    reactive_miss = reactive.miss_rate if reactive else nan
-    if static and reactive and static.miss_rate > 0:
-        ratio = reactive.miss_rate / static.miss_rate
-    else:
-        ratio = nan
-    return (
-        ("static_miss_rate", static_miss),
-        ("reactive_miss_rate", reactive_miss),
-        ("oracle_miss_rate", oracle.miss_rate if oracle else nan),
-        ("reactive_vs_static_ratio", ratio),
-        ("reactive_capacity_moved", reactive.capacity_moved if reactive else nan),
-        (
-            "detection_latency_windows",
-            float(reactive.detection_latency_windows) if reactive else nan,
-        ),
-        (
-            "false_positive_raises",
-            float(reactive.false_positive_raises) if reactive else nan,
-        ),
-    )
+def _identity_collect(config: Any, shards: Sequence[Any]) -> List[Any]:
+    """Each shard result already is one row."""
+    return list(shards)
 
 
 # ---------------------------------------------------------------------------
@@ -413,63 +204,58 @@ def _anneal_hpo_metrics(rows: Sequence[AnnealHPORow]) -> Tuple[Tuple[str, float]
 
 def register_builtin_targets() -> None:
     """Register the built-in targets (idempotent via replace=True)."""
+    from repro.experiments.fig8_tts import Figure8Driver
+    from repro.experiments.load_study import LoadStudyDriver
+    from repro.experiments.network_study import NetworkStudyDriver
+    from repro.experiments.qos_study import QoSStudyDriver
+    from repro.experiments.robustness_study import RobustnessStudyDriver
+    from repro.experiments.scenario_study import ScenarioStudyDriver
+
     register_target(
-        ExperimentTarget(
-            name="fig8",
+        ExperimentTarget.from_driver(
+            Figure8Driver(),
             presets=_fig8_presets(),
-            tasks=_fig8_tasks,
-            collect=_flatten_shards,
-            metrics=_fig8_metrics,
-            metric_names=FIG8_METRICS,
             description="Figure 8 — success probability and TTS(99%) vs s_p",
         ),
         replace=True,
     )
     register_target(
-        ExperimentTarget(
-            name="robustness",
+        ExperimentTarget.from_driver(
+            RobustnessStudyDriver(),
             presets=_robustness_presets(),
-            tasks=_robustness_tasks,
-            collect=_identity_collect,
-            metrics=_robustness_metrics,
-            metric_names=ROBUSTNESS_METRICS,
             description="E-X3 — detection robustness under channel impairments",
         ),
         replace=True,
     )
     register_target(
-        ExperimentTarget(
-            name="serve",
+        ExperimentTarget.from_driver(
+            LoadStudyDriver(),
             presets=_serve_presets(),
-            tasks=_serve_tasks,
-            collect=_serve_collect,
-            metrics=_serve_metrics,
-            metric_names=SERVE_METRICS,
             description="E-SV — deadline-miss rate vs offered load (serving pool)",
         ),
         replace=True,
     )
     register_target(
-        ExperimentTarget(
-            name="scenarios",
+        ExperimentTarget.from_driver(
+            ScenarioStudyDriver(),
             presets=_scenarios_presets(),
-            tasks=_scenarios_tasks,
-            collect=_scenarios_collect,
-            metrics=_scenarios_metrics,
-            metric_names=SCENARIOS_METRICS,
             description="E-SC — static vs autoscaled pools across the scenario catalog",
         ),
         replace=True,
     )
     register_target(
-        ExperimentTarget(
-            name="network",
+        ExperimentTarget.from_driver(
+            NetworkStudyDriver(),
             presets=_network_presets(),
-            tasks=_network_tasks,
-            collect=_identity_collect,
-            metrics=_network_metrics,
-            metric_names=NETWORK_METRICS,
             description="city-scale capacity placement: static vs reactive vs oracle",
+        ),
+        replace=True,
+    )
+    register_target(
+        ExperimentTarget.from_driver(
+            QoSStudyDriver(),
+            presets=_qos_presets(),
+            description="E-QS — classless vs class-aware serving across the catalog",
         ),
         replace=True,
     )

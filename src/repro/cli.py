@@ -16,23 +16,28 @@ Installed as ``repro-experiments``::
     repro-experiments serve           # serving layer: multi-user load sweep
     repro-experiments scenarios       # time-varying scenarios: static vs autoscaled
     repro-experiments network         # city-scale capacity placement on a topology
+    repro-experiments qos             # QoS classes: classless vs class-aware serving
     repro-experiments all             # everything, in order
     repro-experiments ablate --spec study.toml   # declarative ablation/HPO study
 
-``--paper-scale`` switches the configurations that support it to the paper's
-full instance/read counts (slow); ``--quick`` selects the minimal smoke-test
-configurations.  ``--batch-size N`` bounds how many QUBO instances the
-experiments submit per batched annealer/solver call (the default submits each
-experiment's natural instance group as one batch); results are identical for
-every batch size thanks to per-instance child generators.
+Every experiment is an argparse subcommand built from two shared parent
+parsers, so the run-shaping surface is identical everywhere.  The *scale*
+options select the configuration variant: ``--paper-scale`` switches the
+configurations that support it to the paper's full instance/read counts
+(slow); ``--quick`` selects the minimal smoke-test configurations.
+``--batch-size N`` bounds how many QUBO instances the experiments submit per
+batched annealer/solver call (the default submits each experiment's natural
+instance group as one batch); results are identical for every batch size
+thanks to per-instance child generators.
 
+The *execution* options shape how work runs without changing results.
 ``--workers N`` shards the sweep-style experiments (fig6, fig8, snr,
-robustness, serve, scenarios, network) across ``N`` processes — results are
-bitwise-identical to the
-serial run at any worker count.  Shard results are cached on disk under
-``--cache-dir`` (default ``.repro-cache``) so a re-run with one changed
-point recomputes only that point; ``--no-cache`` disables the cache.
-Experiments without a sharded driver ignore all three flags.
+robustness, serve, scenarios, network, qos) across ``N`` processes — results
+are bitwise-identical to the serial run at any worker count.  Shard results
+are cached on disk under ``--cache-dir`` (default ``.repro-cache``) so a
+re-run with one changed point recomputes only that point; ``--no-cache``
+disables the cache.  Experiments without a sharded driver ignore all three
+flags.
 
 ``--telemetry[=DIR]`` records an execution trace (sim-time job spans, kernel
 timings, cache counters) and exports ``trace.jsonl``, ``metrics.prom`` and
@@ -40,11 +45,15 @@ timings, cache counters) and exports ``trace.jsonl``, ``metrics.prom`` and
 without it (see ``docs/telemetry.md``).  ``--verbose/-v`` and ``--quiet/-q``
 control structured progress logging.
 
+Parsed options land in one :class:`CommonRunOptions` value consumed by every
+experiment runner, so adding a subcommand means writing one runner function
+and one table entry — never re-wiring flags.
+
 ``ablate`` runs a declarative ablation/HPO study: ``--spec FILE`` names a
-TOML or JSON study spec (see ``docs/ablation.md``), ``--workers``,
-``--no-cache``/``--cache-dir`` and ``--telemetry`` apply as above, and the
-tidy results table plus Pareto summary print to stdout while the per-study
-JSON artifact lands at ``--output`` (default ``ablation_<study-name>.json``).
+TOML or JSON study spec (see ``docs/ablation.md``), the execution options
+apply as above, and the tidy results table plus Pareto summary print to
+stdout while the per-study JSON artifact lands at ``--output`` (default
+``ablation_<study-name>.json``).
 """
 
 from __future__ import annotations
@@ -55,7 +64,7 @@ import json
 import pathlib
 import re
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import telemetry
 from repro.parallel import ResultCache
@@ -72,6 +81,7 @@ from repro.experiments import (
     LoadStudyConfig,
     NetworkStudyConfig,
     PauseAblationConfig,
+    QoSStudyConfig,
     ScenarioStudyConfig,
     PipelineStudyConfig,
     RobustnessStudyConfig,
@@ -87,6 +97,7 @@ from repro.experiments import (
     format_network_table,
     format_pause_table,
     format_pipeline_table,
+    format_qos_table,
     format_robustness_table,
     format_scenario_table,
     format_snr_table,
@@ -101,18 +112,46 @@ from repro.experiments import (
     run_network_study,
     run_pause_ablation,
     run_pipeline_study,
+    run_qos_study,
     run_robustness_study,
     run_scenario_study,
     run_snr_study,
     run_soft_constraint_study,
 )
 
-__all__ = ["main"]
+__all__ = ["CommonRunOptions", "main"]
 
 _log = get_logger(__name__)
 
 #: Default output directory of ``--telemetry`` when no path is given.
 DEFAULT_TELEMETRY_DIR = "telemetry-out"
+
+
+@dataclasses.dataclass(frozen=True)
+class CommonRunOptions:
+    """The run-shaping options shared by every experiment subcommand.
+
+    Runners receive one of these instead of a positional flag tuple, so the
+    CLI surface and the runner signatures cannot drift apart: the shared
+    parent parsers produce exactly these fields.
+    """
+
+    scale: str = "default"
+    batch_size: Optional[int] = None
+    workers: Optional[int] = None
+    cache: Optional[ResultCache] = None
+
+    @classmethod
+    def from_arguments(cls, arguments: argparse.Namespace) -> "CommonRunOptions":
+        """Collapse the parsed flags into one options value."""
+        scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
+        cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
+        return cls(
+            scale=scale,
+            batch_size=arguments.batch_size,
+            workers=arguments.workers,
+            cache=cache,
+        )
 
 
 def _select(config_class, scale: str, batch_size: Optional[int] = None):
@@ -135,95 +174,144 @@ def _select(config_class, scale: str, batch_size: Optional[int] = None):
     return config
 
 
-def _run_fig3(scale, batch_size, workers, cache) -> str:
-    return format_figure3_table(run_figure3(_select(Figure3Config, scale, batch_size)))
+def _select_serving(config_class, options: CommonRunOptions):
+    """Serving configs map ``--batch-size`` onto ``max_batch_size``."""
+    config = _select(config_class, options.scale)
+    if options.batch_size is not None:
+        config = dataclasses.replace(config, max_batch_size=options.batch_size)
+    return config
 
 
-def _run_fig6(scale, batch_size, workers, cache) -> str:
+def _run_fig3(options: CommonRunOptions) -> str:
+    return format_figure3_table(
+        run_figure3(_select(Figure3Config, options.scale, options.batch_size))
+    )
+
+
+def _run_fig6(options: CommonRunOptions) -> str:
     return format_figure6_table(
-        run_figure6(_select(Figure6Config, scale, batch_size), workers=workers, cache=cache)
-    )
-
-
-def _run_fig7(scale, batch_size, workers, cache) -> str:
-    return format_figure7_table(run_figure7(_select(Figure7Config, scale, batch_size)))
-
-
-def _run_fig8(scale, batch_size, workers, cache) -> str:
-    return format_figure8_table(
-        run_figure8(_select(Figure8Config, scale, batch_size), workers=workers, cache=cache)
-    )
-
-
-def _run_headline(scale, batch_size, workers, cache) -> str:
-    return format_headline_report(run_headline(_select(HeadlineConfig, scale, batch_size)))
-
-
-def _run_pipeline(scale, batch_size, workers, cache) -> str:
-    return format_pipeline_table(
-        run_pipeline_study(_select(PipelineStudyConfig, scale, batch_size))
-    )
-
-
-def _run_ablation(scale, batch_size, workers, cache) -> str:
-    return format_initializer_table(
-        run_initializer_ablation(_select(InitializerAblationConfig, scale, batch_size))
-    )
-
-
-def _run_constraints(scale, batch_size, workers, cache) -> str:
-    return format_soft_constraint_table(
-        run_soft_constraint_study(_select(SoftConstraintConfig, scale, batch_size))
-    )
-
-
-def _run_snr(scale, batch_size, workers, cache) -> str:
-    return format_snr_table(
-        run_snr_study(_select(SNRStudyConfig, scale, batch_size), workers=workers, cache=cache)
-    )
-
-
-def _run_pause(scale, batch_size, workers, cache) -> str:
-    return format_pause_table(
-        run_pause_ablation(_select(PauseAblationConfig, scale, batch_size))
-    )
-
-
-def _run_robustness(scale, batch_size, workers, cache) -> str:
-    return format_robustness_table(
-        run_robustness_study(
-            _select(RobustnessStudyConfig, scale, batch_size),
-            workers=workers,
-            cache=cache,
+        run_figure6(
+            _select(Figure6Config, options.scale, options.batch_size),
+            workers=options.workers,
+            cache=options.cache,
         )
     )
 
 
-def _run_serve(scale, batch_size, workers, cache) -> str:
-    config = _select(LoadStudyConfig, scale)
-    if batch_size is not None:
-        config = dataclasses.replace(config, max_batch_size=batch_size)
-    return format_load_study_table(run_load_study(config, workers=workers, cache=cache))
+def _run_fig7(options: CommonRunOptions) -> str:
+    return format_figure7_table(
+        run_figure7(_select(Figure7Config, options.scale, options.batch_size))
+    )
 
 
-def _run_scenarios(scale, batch_size, workers, cache) -> str:
-    config = _select(ScenarioStudyConfig, scale)
-    if batch_size is not None:
-        config = dataclasses.replace(config, max_batch_size=batch_size)
-    return format_scenario_table(run_scenario_study(config, workers=workers, cache=cache))
+def _run_fig8(options: CommonRunOptions) -> str:
+    return format_figure8_table(
+        run_figure8(
+            _select(Figure8Config, options.scale, options.batch_size),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
 
 
-def _run_network(scale, batch_size, workers, cache) -> str:
-    config = _select(NetworkStudyConfig, scale)
-    return format_network_table(run_network_study(config, workers=workers, cache=cache))
+def _run_headline(options: CommonRunOptions) -> str:
+    return format_headline_report(
+        run_headline(_select(HeadlineConfig, options.scale, options.batch_size))
+    )
 
 
-def _run_ablate(spec_path: str, output: Optional[str], workers, cache) -> str:
+def _run_pipeline(options: CommonRunOptions) -> str:
+    return format_pipeline_table(
+        run_pipeline_study(_select(PipelineStudyConfig, options.scale, options.batch_size))
+    )
+
+
+def _run_ablation(options: CommonRunOptions) -> str:
+    return format_initializer_table(
+        run_initializer_ablation(
+            _select(InitializerAblationConfig, options.scale, options.batch_size)
+        )
+    )
+
+
+def _run_constraints(options: CommonRunOptions) -> str:
+    return format_soft_constraint_table(
+        run_soft_constraint_study(_select(SoftConstraintConfig, options.scale, options.batch_size))
+    )
+
+
+def _run_snr(options: CommonRunOptions) -> str:
+    return format_snr_table(
+        run_snr_study(
+            _select(SNRStudyConfig, options.scale, options.batch_size),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
+
+
+def _run_pause(options: CommonRunOptions) -> str:
+    return format_pause_table(
+        run_pause_ablation(_select(PauseAblationConfig, options.scale, options.batch_size))
+    )
+
+
+def _run_robustness(options: CommonRunOptions) -> str:
+    return format_robustness_table(
+        run_robustness_study(
+            _select(RobustnessStudyConfig, options.scale, options.batch_size),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
+
+
+def _run_serve(options: CommonRunOptions) -> str:
+    return format_load_study_table(
+        run_load_study(
+            _select_serving(LoadStudyConfig, options),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
+
+
+def _run_scenarios(options: CommonRunOptions) -> str:
+    return format_scenario_table(
+        run_scenario_study(
+            _select_serving(ScenarioStudyConfig, options),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
+
+
+def _run_network(options: CommonRunOptions) -> str:
+    return format_network_table(
+        run_network_study(
+            _select(NetworkStudyConfig, options.scale),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
+
+
+def _run_qos(options: CommonRunOptions) -> str:
+    return format_qos_table(
+        run_qos_study(
+            _select_serving(QoSStudyConfig, options),
+            workers=options.workers,
+            cache=options.cache,
+        )
+    )
+
+
+def _run_ablate(spec_path: str, output: Optional[str], options: CommonRunOptions) -> str:
     """Run one declarative study: print its table, write its JSON artifact."""
     from repro.ablation import format_study_table, load_spec, run_study
 
     spec = load_spec(spec_path)
-    result = run_study(spec, workers=workers, cache=cache)
+    result = run_study(spec, workers=options.workers, cache=options.cache)
     if output is None:
         slug = re.sub(r"[^A-Za-z0-9._-]+", "_", spec.name)
         output = f"ablation_{slug}.json"
@@ -237,53 +325,32 @@ def _run_ablate(spec_path: str, output: Optional[str], workers, cache) -> str:
     return format_study_table(result) + f"\nArtifact: {artifact}"
 
 
-_ExperimentRunner = Callable[[str, Optional[int], Optional[int], Optional[ResultCache]], str]
-_EXPERIMENTS: Dict[str, _ExperimentRunner] = {
-    "fig3": _run_fig3,
-    "fig6": _run_fig6,
-    "fig7": _run_fig7,
-    "fig8": _run_fig8,
-    "headline": _run_headline,
-    "pipeline": _run_pipeline,
-    "ablation": _run_ablation,
-    "constraints": _run_constraints,
-    "snr": _run_snr,
-    "pause": _run_pause,
-    "robustness": _run_robustness,
-    "serve": _run_serve,
-    "scenarios": _run_scenarios,
-    "network": _run_network,
+_ExperimentRunner = Callable[[CommonRunOptions], str]
+
+#: Subcommand name -> (runner, one-line summary shown in ``--help``).
+_EXPERIMENTS: Dict[str, Tuple[_ExperimentRunner, str]] = {
+    "fig3": (_run_fig3, "Figure 3 — QUBO simplification by variable prefixing"),
+    "fig6": (_run_fig6, "Figure 6 — delta-E% distributions of FA / RA"),
+    "fig7": (_run_fig7, "Figure 7 — RA performance vs initial-state quality"),
+    "fig8": (_run_fig8, "Figure 8 — success probability and TTS vs s_p"),
+    "headline": (_run_headline, "the abstract's 2-10x RA vs FA comparison"),
+    "pipeline": (_run_pipeline, "Figure 2 — pipelined classical/quantum processing"),
+    "ablation": (_run_ablation, "initialiser-quality ablation (GS/ZF/MMSE/sphere)"),
+    "constraints": (_run_constraints, "Figure 4 — soft-information constraints"),
+    "snr": (_run_snr, "extension — BER vs SNR under AWGN"),
+    "pause": (_run_pause, "extension — the power of pausing"),
+    "robustness": (_run_robustness, "extension — impairment robustness sweep"),
+    "serve": (_run_serve, "serving layer — deadline-miss rate vs offered load"),
+    "scenarios": (_run_scenarios, "time-varying scenarios — static vs autoscaled"),
+    "network": (_run_network, "city-scale capacity placement on a topology"),
+    "qos": (_run_qos, "QoS classes — classless vs class-aware serving with handover"),
 }
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser (exposed for testing)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the evaluation figures of the HotNets 2020 hybrid "
-        "classical-quantum wireless paper.",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "ablate"],
-        help="which experiment to run ('ablate' runs a declarative study "
-        "from --spec and is not part of 'all')",
-    )
-    parser.add_argument(
-        "--spec",
-        default=None,
-        metavar="FILE",
-        help="ablation study spec, a .toml or .json file (required by, and "
-        "only valid with, the 'ablate' subcommand; see docs/ablation.md)",
-    )
-    parser.add_argument(
-        "--output",
-        default=None,
-        metavar="FILE",
-        help="where 'ablate' writes the per-study JSON artifact "
-        "(default: ablation_<study-name>.json in the working directory)",
-    )
-    scale = parser.add_mutually_exclusive_group()
+def _scale_options() -> argparse.ArgumentParser:
+    """Shared parent parser: configuration-scale selection."""
+    parent = argparse.ArgumentParser(add_help=False)
+    scale = parent.add_mutually_exclusive_group()
     scale.add_argument(
         "--paper-scale",
         action="store_true",
@@ -294,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the minimal smoke-test configurations",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--batch-size",
         type=int,
         default=None,
@@ -303,28 +370,34 @@ def build_parser() -> argparse.ArgumentParser:
         "each experiment's natural instance group as one batch); results are "
         "identical for every batch size",
     )
-    parser.add_argument(
+    return parent
+
+
+def _execution_options() -> argparse.ArgumentParser:
+    """Shared parent parser: sharding, caching, telemetry and verbosity."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
         help="shard the sweep-style experiments (fig6, fig8, snr, robustness, "
-        "serve, scenarios, network) across N processes; results are bitwise-identical "
-        "to the serial run at any worker count (default: serial)",
+        "serve, scenarios, network, qos) across N processes; results are "
+        "bitwise-identical to the serial run at any worker count (default: serial)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the on-disk shard-result cache (every point recomputes)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-dir",
         default=".repro-cache",
         metavar="DIR",
         help="directory of the content-addressed shard-result cache "
         "(default: .repro-cache)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--telemetry",
         nargs="?",
         const=DEFAULT_TELEMETRY_DIR,
@@ -335,18 +408,75 @@ def build_parser() -> argparse.ArgumentParser:
         f"{DEFAULT_TELEMETRY_DIR}); results are bitwise-identical with or "
         "without telemetry",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--verbose",
         "-v",
         action="count",
         default=0,
         help="increase log verbosity (-v: progress, -vv: per-shard detail)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--quiet",
         "-q",
         action="store_true",
         help="only log errors",
+    )
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing).
+
+    One subparser per experiment, all built from the same two parent parsers
+    (:func:`_scale_options` and :func:`_execution_options`), plus ``all`` and
+    the spec-driven ``ablate``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of the HotNets 2020 hybrid "
+        "classical-quantum wireless paper.",
+    )
+    # Flags that only some subcommands define still need namespace defaults
+    # so main() can read them unconditionally.
+    parser.set_defaults(spec=None, output=None, paper_scale=False, quick=False, batch_size=None)
+    scale = _scale_options()
+    execution = _execution_options()
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="experiment",
+        help="which experiment to run ('ablate' runs a declarative study "
+        "from --spec and is not part of 'all')",
+    )
+    for name, (_, summary) in sorted(_EXPERIMENTS.items()):
+        subparsers.add_parser(
+            name, parents=[scale, execution], help=summary, description=summary
+        )
+    subparsers.add_parser(
+        "all",
+        parents=[scale, execution],
+        help="every experiment above, in order",
+        description="run every experiment subcommand in name order",
+    )
+    ablate = subparsers.add_parser(
+        "ablate",
+        parents=[execution],
+        help="declarative ablation/HPO study from --spec (see docs/ablation.md)",
+        description="run a declarative ablation/HPO study from a TOML/JSON spec",
+    )
+    ablate.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="ablation study spec, a .toml or .json file (required; see "
+        "docs/ablation.md)",
+    )
+    ablate.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="where the per-study JSON artifact is written "
+        "(default: ablation_<study-name>.json in the working directory)",
     )
     return parser
 
@@ -383,12 +513,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--quiet and --verbose are mutually exclusive")
     if arguments.experiment == "ablate" and arguments.spec is None:
         parser.error("ablate requires --spec FILE (a .toml or .json study spec)")
-    if arguments.experiment != "ablate" and arguments.spec is not None:
-        parser.error("--spec is only valid with the 'ablate' subcommand")
-    if arguments.experiment != "ablate" and arguments.output is not None:
-        parser.error("--output is only valid with the 'ablate' subcommand")
-    scale = "paper" if arguments.paper_scale else ("quick" if arguments.quick else "default")
-    cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
+    options = CommonRunOptions.from_arguments(arguments)
     configure_logging(-1 if arguments.quiet else arguments.verbose)
 
     session = telemetry.enable() if arguments.telemetry is not None else None
@@ -397,11 +522,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Spec loading happens inside the try so a bad spec still exports
         # whatever telemetry was recorded before the failure.
         if arguments.experiment == "ablate":
-            print(_run_ablate(arguments.spec, arguments.output, arguments.workers, cache))
+            print(_run_ablate(arguments.spec, arguments.output, options))
             print()
         else:
             for name in names:
-                print(_EXPERIMENTS[name](scale, arguments.batch_size, arguments.workers, cache))
+                runner, _ = _EXPERIMENTS[name]
+                print(runner(options))
                 print()
     finally:
         # Export whatever was recorded even when an experiment raises —

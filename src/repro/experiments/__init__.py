@@ -25,9 +25,19 @@ E-SV      Serving — deadline-miss rate vs offered load across the
           serialized / pipelined / pooled serving architectures
 E-SC      Scenarios — static vs autoscaled pools across the
           time-varying network scenario catalog
+E-QS      QoS — classless vs class-aware serving of a mixed
+          urllc/embb/best-effort population with handover
 ========  ==========================================================
+
+Every sharded runner sits behind one protocol:
+:class:`~repro.experiments.driver.ExperimentDriver` (``tasks`` /
+``aggregate`` / ``metrics``) executed by
+:func:`~repro.experiments.driver.run_driver`.  The ``run_*`` functions are
+thin compatibility wrappers over it, and the ablation harness binds the
+same driver objects via ``ExperimentTarget.from_driver``.
 """
 
+from repro.experiments.driver import ExperimentDriver, run_driver
 from repro.experiments.instances import (
     InstanceBundle,
     synthesize_instance,
@@ -43,6 +53,7 @@ from repro.experiments.fig3_simplification import (
 )
 from repro.experiments.fig6_distributions import (
     Figure6Config,
+    Figure6Driver,
     Figure6Series,
     figure6_tasks,
     run_figure6,
@@ -56,6 +67,7 @@ from repro.experiments.fig7_initial_state import (
 )
 from repro.experiments.fig8_tts import (
     Figure8Config,
+    Figure8Driver,
     Figure8Row,
     figure8_tasks,
     run_figure8,
@@ -85,6 +97,7 @@ from repro.experiments.ablation import (
 )
 from repro.experiments.snr_study import (
     SNRStudyConfig,
+    SNRStudyDriver,
     SNRStudyRow,
     snr_study_tasks,
     run_snr_study,
@@ -98,6 +111,7 @@ from repro.experiments.pause_ablation import (
 )
 from repro.experiments.load_study import (
     LoadStudyConfig,
+    LoadStudyDriver,
     LoadStudyRow,
     LoadStudyResult,
     load_study_tasks,
@@ -106,6 +120,7 @@ from repro.experiments.load_study import (
 )
 from repro.experiments.scenario_study import (
     ScenarioStudyConfig,
+    ScenarioStudyDriver,
     ScenarioStudyRow,
     ScenarioStudyResult,
     scenario_study_tasks,
@@ -115,6 +130,7 @@ from repro.experiments.scenario_study import (
 from repro.experiments.robustness_study import (
     ROBUSTNESS_AXES,
     RobustnessStudyConfig,
+    RobustnessStudyDriver,
     RobustnessRow,
     robustness_tasks,
     run_robustness_study,
@@ -123,14 +139,27 @@ from repro.experiments.robustness_study import (
 from repro.experiments.network_study import (
     PLACEMENTS,
     NetworkStudyConfig,
+    NetworkStudyDriver,
     NetworkStudyRow,
     NetworkStudyResult,
     network_study_tasks,
     run_network_study,
     format_network_table,
 )
+from repro.experiments.qos_study import (
+    QOS_ARMS,
+    QoSStudyConfig,
+    QoSStudyDriver,
+    QoSStudyRow,
+    QoSStudyResult,
+    qos_study_tasks,
+    run_qos_study,
+    format_qos_table,
+)
 
 __all__ = [
+    "ExperimentDriver",
+    "run_driver",
     "InstanceBundle",
     "synthesize_instance",
     "synthesize_instances",
@@ -141,6 +170,7 @@ __all__ = [
     "run_figure3",
     "format_figure3_table",
     "Figure6Config",
+    "Figure6Driver",
     "Figure6Series",
     "figure6_tasks",
     "run_figure6",
@@ -150,6 +180,7 @@ __all__ = [
     "run_figure7",
     "format_figure7_table",
     "Figure8Config",
+    "Figure8Driver",
     "Figure8Row",
     "figure8_tasks",
     "run_figure8",
@@ -171,6 +202,7 @@ __all__ = [
     "run_soft_constraint_study",
     "format_soft_constraint_table",
     "SNRStudyConfig",
+    "SNRStudyDriver",
     "SNRStudyRow",
     "snr_study_tasks",
     "run_snr_study",
@@ -180,12 +212,14 @@ __all__ = [
     "run_pause_ablation",
     "format_pause_table",
     "LoadStudyConfig",
+    "LoadStudyDriver",
     "LoadStudyRow",
     "LoadStudyResult",
     "load_study_tasks",
     "run_load_study",
     "format_load_study_table",
     "ScenarioStudyConfig",
+    "ScenarioStudyDriver",
     "ScenarioStudyRow",
     "ScenarioStudyResult",
     "scenario_study_tasks",
@@ -193,15 +227,25 @@ __all__ = [
     "format_scenario_table",
     "ROBUSTNESS_AXES",
     "RobustnessStudyConfig",
+    "RobustnessStudyDriver",
     "RobustnessRow",
     "robustness_tasks",
     "run_robustness_study",
     "format_robustness_table",
     "PLACEMENTS",
     "NetworkStudyConfig",
+    "NetworkStudyDriver",
     "NetworkStudyRow",
     "NetworkStudyResult",
     "network_study_tasks",
     "run_network_study",
     "format_network_table",
+    "QOS_ARMS",
+    "QoSStudyConfig",
+    "QoSStudyDriver",
+    "QoSStudyRow",
+    "QoSStudyResult",
+    "qos_study_tasks",
+    "run_qos_study",
+    "format_qos_table",
 ]

@@ -30,10 +30,11 @@ from repro.experiments.instances import (
     paper_figure6_configurations,
     synthesize_instances,
 )
+from repro.experiments.driver import ExperimentDriver, run_driver
 from repro.metrics.quality import delta_e_distribution
 from repro.metrics.statistics import histogram_percentiles
 from repro import telemetry
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.parallel import ResultCache, ShardTask
 from repro.telemetry.log import get_logger
 from repro.utils.rng import spawn_rngs, stable_seed
 
@@ -41,6 +42,7 @@ _log = get_logger(__name__)
 
 __all__ = [
     "Figure6Config",
+    "Figure6Driver",
     "Figure6Series",
     "figure6_tasks",
     "run_figure6",
@@ -275,6 +277,24 @@ def figure6_tasks(config: Figure6Config) -> List[ShardTask]:
     ]
 
 
+class Figure6Driver(ExperimentDriver):
+    """Figure 6 behind the shared experiment-driver protocol."""
+
+    name = "fig6"
+
+    def tasks(self, config: Figure6Config) -> List[ShardTask]:
+        return figure6_tasks(config)
+
+    def aggregate(
+        self, config: Figure6Config, results: Sequence[List[Figure6Series]]
+    ) -> List[Figure6Series]:
+        return [entry for shard in results for entry in shard]
+
+    def progress(self, config, tasks, results) -> None:
+        for task, shard in zip(tasks, results):
+            telemetry.emit_progress("fig6", task.key[1:], series=len(shard))
+
+
 def run_figure6(
     config: Figure6Config = Figure6Config(),
     sampler: Optional[QuantumAnnealerSimulator] = None,
@@ -294,12 +314,8 @@ def run_figure6(
             for num_users, modulation in _selected_configurations(config)
             for entry in _figure6_configuration(config, num_users, modulation, sampler)
         ]
-    tasks = figure6_tasks(config)
-    _log.info("fig6.start", shards=len(tasks), workers=workers or 1)
-    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(tasks)
-    for task, shard in zip(tasks, shards):
-        telemetry.emit_progress("fig6", task.key[1:], series=len(shard))
-    return [entry for shard in shards for entry in shard]
+    _log.info("fig6.start", shards=len(figure6_tasks(config)), workers=workers or 1)
+    return run_driver(Figure6Driver(), config, workers=workers, cache=cache)
 
 
 def format_figure6_table(series: Sequence[Figure6Series]) -> str:

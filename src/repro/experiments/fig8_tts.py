@@ -22,6 +22,7 @@ best TTS beats FA's by a sizeable factor.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -29,6 +30,12 @@ import numpy as np
 
 from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.greedy import GreedySearchSolver
+from repro.experiments.driver import (
+    ExperimentDriver,
+    finite_min_or_nan,
+    mean_or_nan,
+    run_driver,
+)
 from repro.experiments.instances import InstanceBundle, synthesize_instance
 from repro.hybrid.parameters import (
     SwitchPointRecord,
@@ -44,12 +51,23 @@ from repro.utils.rng import stable_seed
 _log = get_logger(__name__)
 
 __all__ = [
+    "FIG8_METRICS",
     "Figure8Config",
+    "Figure8Driver",
     "Figure8Row",
     "figure8_tasks",
     "run_figure8",
     "format_figure8_table",
 ]
+
+#: Scalar metric columns of the fig8 ablation target, in declaration order.
+FIG8_METRICS = (
+    "success_probability_max",
+    "fa_tts_us_min",
+    "ra_greedy_tts_us_min",
+    "tts_speedup",
+    "duration_us_mean",
+)
 
 
 @dataclass(frozen=True)
@@ -322,6 +340,45 @@ def figure8_tasks(config: Figure8Config) -> List[ShardTask]:
     return tasks
 
 
+class Figure8Driver(ExperimentDriver):
+    """Figure 8 behind the shared experiment-driver protocol."""
+
+    name = "fig8"
+    metric_names = FIG8_METRICS
+
+    def tasks(self, config: Figure8Config) -> List[ShardTask]:
+        return figure8_tasks(config)
+
+    def aggregate(
+        self, config: Figure8Config, results: Sequence[List[Figure8Row]]
+    ) -> List[Figure8Row]:
+        return [row for shard in results for row in shard]
+
+    def metrics(self, rows: Sequence[Figure8Row]) -> Tuple[Tuple[str, float], ...]:
+        fa_tts = finite_min_or_nan([row.tts_us for row in rows if row.method == "FA"])
+        ra_tts = finite_min_or_nan(
+            [row.tts_us for row in rows if row.method == "RA-greedy"]
+        )
+        if math.isfinite(fa_tts) and math.isfinite(ra_tts) and ra_tts > 0:
+            speedup = fa_tts / ra_tts
+        else:
+            speedup = float("nan")
+        return (
+            (
+                "success_probability_max",
+                max((row.success_probability for row in rows), default=float("nan")),
+            ),
+            ("fa_tts_us_min", fa_tts),
+            ("ra_greedy_tts_us_min", ra_tts),
+            ("tts_speedup", speedup),
+            ("duration_us_mean", mean_or_nan([row.duration_us for row in rows])),
+        )
+
+    def progress(self, config, tasks, results) -> None:
+        for task, shard in zip(tasks, results):
+            telemetry.emit_progress("fig8", task.key[1:], rows=len(shard))
+
+
 def run_figure8(
     config: Figure8Config = Figure8Config(),
     sampler: Optional[QuantumAnnealerSimulator] = None,
@@ -349,13 +406,8 @@ def run_figure8(
                 rows.extend(_fr_rows(config, instance, annealer, switch_s))
         return rows
 
-    from repro.ablation.study import run_single_config
-
     _log.info("fig8.start", shards=len(figure8_tasks(config)), workers=workers or 1)
-    tasks, shards = run_single_config("fig8", config, workers=workers, cache=cache)
-    for task, shard in zip(tasks, shards):
-        telemetry.emit_progress("fig8", task.key[1:], rows=len(shard))
-    return [row for shard in shards for row in shard]
+    return run_driver(Figure8Driver(), config, workers=workers, cache=cache)
 
 
 def format_figure8_table(rows: Sequence[Figure8Row]) -> str:

@@ -28,8 +28,9 @@ from typing import List, Optional, Tuple
 
 from repro import telemetry
 from repro.exceptions import ConfigurationError
+from repro.experiments.driver import ExperimentDriver, mean_or_nan, run_driver
 from repro.hybrid.pipeline import HybridPipelineSimulator, PipelineReport
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.parallel import ResultCache, ShardTask
 from repro.serving.backends import AnnealerServingBackend, ClassicalServingBackend
 from repro.serving.pool import BackendPool
 from repro.serving.report import ServingReport, format_serving_report
@@ -42,7 +43,9 @@ from repro.wireless.mimo import MIMOConfig
 _log = get_logger(__name__)
 
 __all__ = [
+    "SERVE_METRICS",
     "LoadStudyConfig",
+    "LoadStudyDriver",
     "LoadStudyRow",
     "LoadStudyResult",
     "collect_load_rows",
@@ -50,6 +53,16 @@ __all__ = [
     "run_load_study",
     "format_load_study_table",
 ]
+
+#: Scalar metric columns of the ``serve`` ablation target, in order.
+SERVE_METRICS = (
+    "pooled_miss_rate_mean",
+    "pooled_miss_rate_max",
+    "serialized_miss_rate_mean",
+    "pipelined_miss_rate_mean",
+    "pooled_p95_us_max",
+    "pooled_demotion_rate_mean",
+)
 
 
 @dataclass(frozen=True)
@@ -239,6 +252,55 @@ def load_study_tasks(config: LoadStudyConfig) -> List[ShardTask]:
     ]
 
 
+class LoadStudyDriver(ExperimentDriver):
+    """The offered-load sweep behind the shared experiment-driver protocol."""
+
+    name = "serve"
+    metric_names = SERVE_METRICS
+
+    def tasks(self, config: LoadStudyConfig) -> List[ShardTask]:
+        return load_study_tasks(config)
+
+    def aggregate(self, config: LoadStudyConfig, results) -> "LoadStudyResult":
+        return LoadStudyResult(
+            rows=collect_load_rows(config, results),
+            detail=results[-1][2] if results else None,
+            config=config,
+        )
+
+    def metrics(self, rows) -> Tuple[Tuple[str, float], ...]:
+        pooled = [row.pooled_miss_rate for row in rows]
+        return (
+            ("pooled_miss_rate_mean", mean_or_nan(pooled)),
+            ("pooled_miss_rate_max", max(pooled, default=float("nan"))),
+            (
+                "serialized_miss_rate_mean",
+                mean_or_nan([row.serialized_miss_rate for row in rows]),
+            ),
+            (
+                "pipelined_miss_rate_mean",
+                mean_or_nan([row.pipelined_miss_rate for row in rows]),
+            ),
+            (
+                "pooled_p95_us_max",
+                max((row.pooled_p95_us for row in rows), default=float("nan")),
+            ),
+            (
+                "pooled_demotion_rate_mean",
+                mean_or_nan([row.pooled_demotion_rate for row in rows]),
+            ),
+        )
+
+    def progress(self, config, tasks, results) -> None:
+        for load_factor, (_, _, pooled) in zip(config.load_factors, results):
+            telemetry.emit_progress(
+                "load-study",
+                load_factor,
+                pooled_miss_rate=pooled.deadline_miss_rate or 0.0,
+            )
+            _log.debug("load_study.point", load_factor=load_factor)
+
+
 def run_load_study(
     config: LoadStudyConfig = LoadStudyConfig(),
     workers: Optional[int] = None,
@@ -257,19 +319,7 @@ def run_load_study(
             raise ConfigurationError(f"load factors must be positive, got {factor}")
 
     _log.info("load_study.start", points=len(config.load_factors), workers=workers or 1)
-    shards = ParallelRunner(workers=workers, cache=cache).run_sharded(
-        load_study_tasks(config)
-    )
-
-    for load_factor, (_, _, pooled) in zip(config.load_factors, shards):
-        telemetry.emit_progress(
-            "load-study", load_factor, pooled_miss_rate=pooled.deadline_miss_rate or 0.0
-        )
-        _log.debug("load_study.point", load_factor=load_factor)
-
-    return LoadStudyResult(
-        rows=collect_load_rows(config, shards), detail=shards[-1][2], config=config
-    )
+    return run_driver(LoadStudyDriver(), config, workers=workers, cache=cache)
 
 
 def collect_load_rows(

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.exceptions import ConfigurationError
+from repro.experiments.driver import ExperimentDriver, run_driver
 from repro.network.aggregate import (
     AggregationConfig,
     cell_window_counts,
@@ -57,7 +58,7 @@ from repro.network.embedding import (
 )
 from repro.network.kpi import HotspotDetector, HotspotDetectorConfig
 from repro.network.topology import TOPOLOGY_KINDS, build_topology
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.parallel import ResultCache, ShardTask
 from repro.serving.scenarios import SCENARIO_NAMES, build_scenario
 from repro.serving.simulator import RANServingSimulator
 from repro.telemetry.log import get_logger
@@ -67,8 +68,10 @@ from repro.wireless.mimo import MIMOConfig
 _log = get_logger(__name__)
 
 __all__ = [
+    "NETWORK_METRICS",
     "PLACEMENTS",
     "NetworkStudyConfig",
+    "NetworkStudyDriver",
     "NetworkStudyRow",
     "NetworkStudyResult",
     "network_study_tasks",
@@ -78,6 +81,17 @@ __all__ = [
 
 #: Placement arms accepted by the study, in canonical order.
 PLACEMENTS: Tuple[str, ...] = ("static", "reactive", "oracle")
+
+#: Scalar metric columns of the ``network`` ablation target, in order.
+NETWORK_METRICS = (
+    "static_miss_rate",
+    "reactive_miss_rate",
+    "oracle_miss_rate",
+    "reactive_vs_static_ratio",
+    "reactive_capacity_moved",
+    "detection_latency_windows",
+    "false_positive_raises",
+)
 
 
 @dataclass(frozen=True)
@@ -423,6 +437,61 @@ def network_study_tasks(config: NetworkStudyConfig) -> List[ShardTask]:
     return tasks
 
 
+def _placement_row(rows, placement: str):
+    for row in rows:
+        if row.placement == placement:
+            return row
+    return None
+
+
+class NetworkStudyDriver(ExperimentDriver):
+    """The placement study behind the shared experiment-driver protocol."""
+
+    name = "network"
+    metric_names = NETWORK_METRICS
+
+    def tasks(self, config: NetworkStudyConfig) -> List[ShardTask]:
+        return network_study_tasks(config)
+
+    def aggregate(
+        self, config: NetworkStudyConfig, results: List[NetworkStudyRow]
+    ) -> NetworkStudyResult:
+        return NetworkStudyResult(rows=list(results), config=config)
+
+    def metrics(self, rows) -> Tuple[Tuple[str, float], ...]:
+        static = _placement_row(rows, "static")
+        reactive = _placement_row(rows, "reactive")
+        oracle = _placement_row(rows, "oracle")
+        nan = float("nan")
+        static_miss = static.miss_rate if static else nan
+        reactive_miss = reactive.miss_rate if reactive else nan
+        if static and reactive and static.miss_rate > 0:
+            ratio = reactive.miss_rate / static.miss_rate
+        else:
+            ratio = nan
+        return (
+            ("static_miss_rate", static_miss),
+            ("reactive_miss_rate", reactive_miss),
+            ("oracle_miss_rate", oracle.miss_rate if oracle else nan),
+            ("reactive_vs_static_ratio", ratio),
+            ("reactive_capacity_moved", reactive.capacity_moved if reactive else nan),
+            (
+                "detection_latency_windows",
+                float(reactive.detection_latency_windows) if reactive else nan,
+            ),
+            (
+                "false_positive_raises",
+                float(reactive.false_positive_raises) if reactive else nan,
+            ),
+        )
+
+    def progress(self, config, tasks, results) -> None:
+        for row in results:
+            telemetry.emit_progress(
+                "network-study", row.placement, miss_rate=row.miss_rate
+            )
+
+
 def run_network_study(
     config: NetworkStudyConfig = NetworkStudyConfig(),
     workers: Optional[int] = None,
@@ -441,14 +510,7 @@ def run_network_study(
         placements=len(config.placements),
         workers=workers or 1,
     )
-    rows = ParallelRunner(workers=workers, cache=cache).run_sharded(
-        network_study_tasks(config)
-    )
-    for row in rows:
-        telemetry.emit_progress(
-            "network-study", row.placement, miss_rate=row.miss_rate
-        )
-    return NetworkStudyResult(rows=list(rows), config=config)
+    return run_driver(NetworkStudyDriver(), config, workers=workers, cache=cache)
 
 
 def format_network_table(result: NetworkStudyResult) -> str:

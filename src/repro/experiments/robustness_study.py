@@ -33,6 +33,7 @@ from repro.classical.exhaustive import ExhaustiveSolver
 from repro.classical.mmse import MMSEDetector
 from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError
+from repro.experiments.driver import ExperimentDriver, mean_or_nan, run_driver
 from repro.hybrid.solver import HybridMIMODetector
 from repro.parallel import ResultCache, ShardTask
 from repro.telemetry.log import get_logger
@@ -48,7 +49,9 @@ _log = get_logger(__name__)
 
 __all__ = [
     "ROBUSTNESS_AXES",
+    "ROBUSTNESS_METRICS",
     "RobustnessStudyConfig",
+    "RobustnessStudyDriver",
     "RobustnessRow",
     "robustness_tasks",
     "run_robustness_study",
@@ -57,6 +60,16 @@ __all__ = [
 
 #: The four impairment axes, in sweep order.
 ROBUSTNESS_AXES = ("correlation", "doppler", "csi-error", "interference")
+
+#: Scalar metric columns of the robustness ablation target, in order.
+ROBUSTNESS_METRICS = (
+    "hybrid_ber_mean",
+    "mmse_ber_mean",
+    "zero_forcing_ber_mean",
+    "hybrid_optimum_rate_mean",
+    "hybrid_time_us_mean",
+    "hybrid_time_us_p95",
+)
 
 #: Maps each axis to its grid field on :class:`RobustnessStudyConfig`.
 _AXIS_FIELDS = {
@@ -333,6 +346,47 @@ def robustness_tasks(config: RobustnessStudyConfig) -> List[ShardTask]:
     return tasks
 
 
+class RobustnessStudyDriver(ExperimentDriver):
+    """The impairment sweep behind the shared experiment-driver protocol."""
+
+    name = "robustness"
+    metric_names = ROBUSTNESS_METRICS
+
+    def tasks(self, config: RobustnessStudyConfig) -> List[ShardTask]:
+        return robustness_tasks(config)
+
+    def aggregate(
+        self, config: RobustnessStudyConfig, results: Sequence[RobustnessRow]
+    ) -> List[RobustnessRow]:
+        return list(results)
+
+    def metrics(self, rows: Sequence[RobustnessRow]) -> Tuple[Tuple[str, float], ...]:
+        times = [row.hybrid_time_us for row in rows]
+        return (
+            ("hybrid_ber_mean", mean_or_nan([row.hybrid_ber for row in rows])),
+            ("mmse_ber_mean", mean_or_nan([row.mmse_ber for row in rows])),
+            (
+                "zero_forcing_ber_mean",
+                mean_or_nan([row.zero_forcing_ber for row in rows]),
+            ),
+            (
+                "hybrid_optimum_rate_mean",
+                mean_or_nan([row.hybrid_optimum_rate for row in rows]),
+            ),
+            ("hybrid_time_us_mean", mean_or_nan(times)),
+            (
+                "hybrid_time_us_p95",
+                float(np.percentile(times, 95)) if times else float("nan"),
+            ),
+        )
+
+    def progress(self, config, tasks, results) -> None:
+        for row in results:
+            telemetry.emit_progress(
+                "robustness-study", (row.axis, row.value), hybrid_ber=row.hybrid_ber
+            )
+
+
 def run_robustness_study(
     config: RobustnessStudyConfig = RobustnessStudyConfig(),
     workers: Optional[int] = None,
@@ -344,17 +398,10 @@ def run_robustness_study(
     bitwise-identical to the serial path at any worker count) and ``cache``
     reuses point results across runs; see :mod:`repro.parallel`.
     """
-    from repro.ablation.study import run_single_config
-
     _log.info(
         "robustness_study.start", points=len(robustness_tasks(config)), workers=workers or 1
     )
-    _, rows = run_single_config("robustness", config, workers=workers, cache=cache)
-    for row in rows:
-        telemetry.emit_progress(
-            "robustness-study", (row.axis, row.value), hybrid_ber=row.hybrid_ber
-        )
-    return rows
+    return run_driver(RobustnessStudyDriver(), config, workers=workers, cache=cache)
 
 
 _AXIS_LABELS = {

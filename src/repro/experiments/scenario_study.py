@@ -28,7 +28,8 @@ from typing import List, Optional, Tuple
 
 from repro import telemetry
 from repro.exceptions import ConfigurationError
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.experiments.driver import ExperimentDriver, mean_or_nan, run_driver
+from repro.parallel import ResultCache, ShardTask
 from repro.telemetry.log import get_logger
 from repro.serving.autoscale import (
     AutoscaleConfig,
@@ -47,7 +48,9 @@ from repro.wireless.mimo import MIMOConfig
 _log = get_logger(__name__)
 
 __all__ = [
+    "SCENARIOS_METRICS",
     "ScenarioStudyConfig",
+    "ScenarioStudyDriver",
     "ScenarioStudyRow",
     "ScenarioStudyResult",
     "collect_scenario_rows",
@@ -55,6 +58,16 @@ __all__ = [
     "run_scenario_study",
     "format_scenario_table",
 ]
+
+#: Scalar metric columns of the ``scenarios`` ablation target, in order.
+SCENARIOS_METRICS = (
+    "autoscaled_miss_rate_mean",
+    "autoscaled_miss_rate_max",
+    "static_miss_rate_mean",
+    "autoscaled_p99_us_max",
+    "mean_active_workers_mean",
+    "scale_events_total",
+)
 
 
 @dataclass(frozen=True)
@@ -264,6 +277,52 @@ def scenario_study_tasks(config: ScenarioStudyConfig) -> List[ShardTask]:
     return tasks
 
 
+class ScenarioStudyDriver(ExperimentDriver):
+    """The catalog sweep behind the shared experiment-driver protocol."""
+
+    name = "scenarios"
+    metric_names = SCENARIOS_METRICS
+
+    def tasks(self, config: ScenarioStudyConfig) -> List[ShardTask]:
+        return scenario_study_tasks(config)
+
+    def aggregate(
+        self, config: ScenarioStudyConfig, results: List[ServingReport]
+    ) -> ScenarioStudyResult:
+        return ScenarioStudyResult(
+            rows=collect_scenario_rows(config, list(results)),
+            detail=results[-1] if results else None,
+            config=config,
+        )
+
+    def metrics(self, rows) -> Tuple[Tuple[str, float], ...]:
+        autoscaled = [row.autoscaled_miss_rate for row in rows]
+        return (
+            ("autoscaled_miss_rate_mean", mean_or_nan(autoscaled)),
+            ("autoscaled_miss_rate_max", max(autoscaled, default=float("nan"))),
+            (
+                "static_miss_rate_mean",
+                mean_or_nan([row.static_miss_rate for row in rows]),
+            ),
+            (
+                "autoscaled_p99_us_max",
+                max((row.autoscaled_p99_us for row in rows), default=float("nan")),
+            ),
+            (
+                "mean_active_workers_mean",
+                mean_or_nan([row.mean_active_workers for row in rows]),
+            ),
+            ("scale_events_total", float(sum(row.scale_events for row in rows))),
+        )
+
+    def progress(self, config, tasks, results) -> None:
+        for position, name in enumerate(config.scenarios):
+            autoscaled = results[2 * position + 1]
+            telemetry.emit_progress(
+                "scenario-study", name, miss_rate=autoscaled.deadline_miss_rate or 0.0
+            )
+
+
 def run_scenario_study(
     config: ScenarioStudyConfig = ScenarioStudyConfig(),
     workers: Optional[int] = None,
@@ -283,19 +342,7 @@ def run_scenario_study(
         )
 
     _log.info("scenario_study.start", scenarios=len(config.scenarios), workers=workers or 1)
-    reports = ParallelRunner(workers=workers, cache=cache).run_sharded(
-        scenario_study_tasks(config)
-    )
-
-    for position, name in enumerate(config.scenarios):
-        autoscaled = reports[2 * position + 1]
-        telemetry.emit_progress(
-            "scenario-study", name, miss_rate=autoscaled.deadline_miss_rate or 0.0
-        )
-
-    return ScenarioStudyResult(
-        rows=collect_scenario_rows(config, reports), detail=reports[-1], config=config
-    )
+    return run_driver(ScenarioStudyDriver(), config, workers=workers, cache=cache)
 
 
 def collect_scenario_rows(

@@ -21,9 +21,10 @@ from repro.annealing.sampler import QuantumAnnealerSimulator
 from repro.classical.mmse import MMSEDetector
 from repro.classical.zero_forcing import ZeroForcingDetector
 from repro.exceptions import ConfigurationError
+from repro.experiments.driver import ExperimentDriver, run_driver
 from repro import telemetry
 from repro.hybrid.solver import HybridMIMODetector
-from repro.parallel import ParallelRunner, ResultCache, ShardTask
+from repro.parallel import ResultCache, ShardTask
 from repro.telemetry.log import get_logger
 from repro.transform.mimo_to_qubo import mimo_to_qubo
 from repro.utils.batching import iter_batches
@@ -36,6 +37,7 @@ _log = get_logger(__name__)
 
 __all__ = [
     "SNRStudyConfig",
+    "SNRStudyDriver",
     "SNRStudyRow",
     "snr_study_tasks",
     "run_snr_study",
@@ -204,6 +206,24 @@ def snr_study_tasks(config: SNRStudyConfig) -> List[ShardTask]:
     ]
 
 
+class SNRStudyDriver(ExperimentDriver):
+    """The BER-vs-SNR sweep behind the shared experiment-driver protocol."""
+
+    name = "snr"
+
+    def tasks(self, config: SNRStudyConfig) -> List[ShardTask]:
+        return snr_study_tasks(config)
+
+    def aggregate(
+        self, config: SNRStudyConfig, results: Sequence[SNRStudyRow]
+    ) -> List[SNRStudyRow]:
+        return list(results)
+
+    def progress(self, config, tasks, results) -> None:
+        for row in results:
+            telemetry.emit_progress("snr-study", row.snr_db, hybrid_ber=row.hybrid_ber)
+
+
 def run_snr_study(
     config: SNRStudyConfig = SNRStudyConfig(),
     sampler: Optional[QuantumAnnealerSimulator] = None,
@@ -221,10 +241,7 @@ def run_snr_study(
     if sampler is not None:
         return [_snr_point(config, float(snr_db), sampler) for snr_db in config.snr_grid_db]
     _log.info("snr_study.start", points=len(config.snr_grid_db), workers=workers or 1)
-    rows = ParallelRunner(workers=workers, cache=cache).run_sharded(snr_study_tasks(config))
-    for row in rows:
-        telemetry.emit_progress("snr-study", row.snr_db, hybrid_ber=row.hybrid_ber)
-    return rows
+    return run_driver(SNRStudyDriver(), config, workers=workers, cache=cache)
 
 
 def format_snr_table(rows: Sequence[SNRStudyRow]) -> str:

@@ -23,9 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 __all__ = ["Cell", "NetworkTopology", "build_topology", "TOPOLOGY_KINDS"]
 
@@ -187,6 +190,18 @@ class NetworkTopology:
         self._check_cell(cell_id)
         cell = self.cells[cell_id]
         return (cell.x, cell.y)
+
+    def random_neighbor(self, cell_id: int, rng: "np.random.Generator") -> int:
+        """A uniformly drawn neighbour of ``cell_id`` (the handover target).
+
+        An isolated cell (no neighbours — a 1-cell layout) hands over to
+        itself, so mobility models never have to special-case degenerate
+        topologies.  Exactly one draw is consumed from ``rng`` either way,
+        keeping per-user handover streams aligned across layouts.
+        """
+        neighbours = self.neighbors(cell_id)
+        position = int(rng.integers(0, max(len(neighbours), 1)))
+        return neighbours[position] if neighbours else cell_id
 
     def distance(self, first: int, second: int) -> float:
         """Euclidean centre distance between two cells.

@@ -5,8 +5,12 @@ serving plant:
 
 * :mod:`repro.serving.events` — discrete-event primitives (FIFO servers and
   a deterministic event queue) shared with the Figure-2 pipeline simulator;
+* :mod:`repro.serving.qos` — multi-service QoS classes (urllc / embb /
+  best-effort) with per-class deadlines, priorities and degradation
+  ladders (see ``docs/qos.md``);
 * :mod:`repro.serving.workload` — multi-user / multi-cell job generation on
-  top of :class:`repro.wireless.traffic.TrafficGenerator`;
+  top of :class:`repro.wireless.traffic.TrafficGenerator`, including
+  velocity-coupled inter-cell handover (:class:`HandoverModel`);
 * :mod:`repro.serving.scenarios` — time-varying load scenarios: composable
   :class:`LoadPhase` segments (diurnal waves, flash crowds, hotspot drift,
   cell outages) stitched into a named :class:`NetworkScenario` catalog that
@@ -55,7 +59,17 @@ from repro.serving.scenarios import (
     SCENARIO_NAMES,
     build_scenario,
 )
+from repro.serving.qos import (
+    BEST_EFFORT,
+    DEFAULT_CLASS,
+    EMBB,
+    SERVICE_CLASSES,
+    URLLC,
+    ServiceClass,
+    resolve_service_class,
+)
 from repro.serving.workload import (
+    HandoverModel,
     ServingJob,
     UserProfile,
     generate_serving_jobs,
@@ -84,6 +98,7 @@ from repro.serving.pool import BackendPool, Worker, build_pool
 from repro.serving.report import (
     BackendUtilization,
     JobOutcome,
+    ServiceClassReport,
     ServingReport,
     format_serving_report,
 )
@@ -106,8 +121,16 @@ __all__ = [
     "AutoscaleController",
     "AutoscaleEvent",
     "ElasticBackendPool",
+    "ServiceClass",
+    "DEFAULT_CLASS",
+    "URLLC",
+    "EMBB",
+    "BEST_EFFORT",
+    "SERVICE_CLASSES",
+    "resolve_service_class",
     "ServingJob",
     "UserProfile",
+    "HandoverModel",
     "generate_serving_jobs",
     "uniform_cell_profiles",
     "SchedulingPolicy",
@@ -124,6 +147,7 @@ __all__ = [
     "build_pool",
     "JobOutcome",
     "BackendUtilization",
+    "ServiceClassReport",
     "ServingReport",
     "format_serving_report",
     "RANServingSimulator",

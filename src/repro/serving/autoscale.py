@@ -75,6 +75,13 @@ class AutoscaleConfig:
         the network-wide queue per worker looks deep.  ``None`` (default)
         disables the signal and reproduces the pre-network controller
         bitwise.
+    critical_pressure_jobs:
+        Optional *absolute* count of deadline-pressured **protected**
+        (degradation-tier-0, e.g. URLLC) jobs that forces scale-up.  The
+        fractional ``pressure_fraction`` signal dilutes a handful of
+        pressured critical jobs in a sea of best-effort traffic; this
+        threshold reacts to them directly.  ``None`` (default) disables the
+        signal and reproduces the class-blind controller bitwise.
     """
 
     interval_us: float = 250.0
@@ -86,6 +93,7 @@ class AutoscaleConfig:
     pressure_fraction: float = 0.1
     cooldown_us: float = 500.0
     hotspot_queue_per_cell: Optional[float] = None
+    critical_pressure_jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.interval_us <= 0:
@@ -128,6 +136,11 @@ class AutoscaleConfig:
             raise ConfigurationError(
                 "hotspot_queue_per_cell must be positive or None, got "
                 f"{self.hotspot_queue_per_cell}"
+            )
+        if self.critical_pressure_jobs is not None and self.critical_pressure_jobs < 1:
+            raise ConfigurationError(
+                "critical_pressure_jobs must be at least 1 or None, got "
+                f"{self.critical_pressure_jobs}"
             )
 
 
@@ -285,12 +298,15 @@ class AutoscaleController:
         pool: ElasticBackendPool,
         pressured_count: int,
         cell_queue_depths: Optional[Dict[int, int]] = None,
+        critical_pressured: int = 0,
     ) -> Optional[AutoscaleEvent]:
         """Observe the system at ``now_us`` and take at most one scaling action.
 
         ``cell_queue_depths`` (queued jobs per cell id) feeds the optional
         ``hotspot_queue_per_cell`` signal; the simulator supplies it when a
         topology is attached and the threshold is configured.
+        ``critical_pressured`` (deadline-pressured protected jobs) feeds the
+        optional ``critical_pressure_jobs`` signal the same way.
         """
         config = self.config
         active = pool.active_annealer_count
@@ -309,6 +325,10 @@ class AutoscaleController:
                 for cell_depth in cell_queue_depths.values()
             )
         )
+        critical = (
+            config.critical_pressure_jobs is not None
+            and critical_pressured >= config.critical_pressure_jobs
+        )
         if now_us - self._last_action_us < config.cooldown_us - 1e-9:
             return None
 
@@ -317,10 +337,13 @@ class AutoscaleController:
             per_worker > config.scale_up_queue_per_worker
             or pressure > config.pressure_fraction
             or hotspot
+            or critical
         ):
             worker = pool.activate_worker(now_us, config.warmup_us)
             if worker is not None:
-                if pressure > config.pressure_fraction:
+                if critical:
+                    reason = "critical-pressure"
+                elif pressure > config.pressure_fraction:
                     reason = "deadline-pressure"
                 elif per_worker > config.scale_up_queue_per_worker:
                     reason = "queue-depth"

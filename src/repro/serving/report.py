@@ -6,6 +6,13 @@ miss their deadline are *counted, never dropped* — and the aggregate
 deadline-miss rate, demotion rate, batch occupancy and per-backend-worker
 utilisation.  These are the quantities the load-sweep study and the serving
 benchmark plot against offered load.
+
+Reports also break every latency/miss/demotion statistic down **per service
+class** (:class:`ServiceClassReport`): a multi-class run shows whether the
+degradation ladder actually protected URLLC while best-effort absorbed the
+overload.  Single-class runs compute the breakdown too (one ``default``
+entry) but omit it from the formatted text, keeping legacy output
+byte-identical.
 """
 
 from __future__ import annotations
@@ -15,7 +22,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["JobOutcome", "BackendUtilization", "ServingReport", "format_serving_report"]
+__all__ = [
+    "JobOutcome",
+    "BackendUtilization",
+    "ServiceClassReport",
+    "ServingReport",
+    "format_serving_report",
+]
 
 
 @dataclass(frozen=True)
@@ -36,6 +49,7 @@ class JobOutcome:
     batch_size: int
     best_energy: Optional[float] = None
     detected_optimum: Optional[bool] = None
+    service_class: str = "default"
 
     @property
     def latency_us(self) -> float:
@@ -62,6 +76,28 @@ class BackendUtilization:
 
 
 @dataclass(frozen=True)
+class ServiceClassReport:
+    """Per-service-class slice of a serving run's statistics.
+
+    The same definitions as the run-level report, restricted to one class's
+    outcomes: percentiles use the conservative ``"higher"`` method and
+    ``deadline_miss_rate`` is ``None`` when no job of the class carried a
+    deadline.  A class with users but no completed jobs (e.g. a scenario
+    phase that starved it) simply has no entry.
+    """
+
+    service_class: str
+    jobs: int
+    mean_latency_us: float
+    p50_latency_us: float
+    p95_latency_us: float
+    p99_latency_us: float
+    deadline_miss_rate: Optional[float]
+    missed_jobs: int
+    demotion_rate: float
+
+
+@dataclass(frozen=True)
 class ServingReport:
     """Aggregate outcome of one RAN serving simulation run."""
 
@@ -82,11 +118,45 @@ class ServingReport:
     backend_utilization: Tuple[BackendUtilization, ...]
     optimum_rate: Optional[float]
     metadata: Dict = field(default_factory=dict)
+    class_reports: Tuple[ServiceClassReport, ...] = ()
 
     @property
     def num_jobs(self) -> int:
         """Number of jobs processed (every submitted job is accounted for)."""
         return len(self.outcomes)
+
+    def class_report(self, service_class: str) -> Optional[ServiceClassReport]:
+        """The named class's slice, or ``None`` if no job of it completed."""
+        for entry in self.class_reports:
+            if entry.service_class == service_class:
+                return entry
+        return None
+
+
+def _class_reports(outcomes: Sequence[JobOutcome]) -> Tuple[ServiceClassReport, ...]:
+    """Per-class statistic slices, in class-name order."""
+    by_class: Dict[str, List[JobOutcome]] = {}
+    for outcome in outcomes:
+        by_class.setdefault(outcome.service_class, []).append(outcome)
+    reports = []
+    for name in sorted(by_class):
+        members = by_class[name]
+        latencies = np.array([outcome.latency_us for outcome in members])
+        flags = [o.met_deadline for o in members if o.met_deadline is not None]
+        reports.append(
+            ServiceClassReport(
+                service_class=name,
+                jobs=len(members),
+                mean_latency_us=float(np.mean(latencies)),
+                p50_latency_us=float(np.percentile(latencies, 50)),
+                p95_latency_us=float(np.percentile(latencies, 95, method="higher")),
+                p99_latency_us=float(np.percentile(latencies, 99, method="higher")),
+                deadline_miss_rate=(1.0 - float(np.mean(flags))) if flags else None,
+                missed_jobs=sum(1 for flag in flags if not flag),
+                demotion_rate=float(np.mean([o.demoted for o in members])),
+            )
+        )
+    return tuple(reports)
 
 
 def build_serving_report(
@@ -123,6 +193,7 @@ def build_serving_report(
             backend_utilization=tuple(backend_utilization),
             optimum_rate=None,
             metadata=dict(metadata or {}),
+            class_reports=(),
         )
     latencies = np.array([outcome.latency_us for outcome in outcomes])
     arrivals = np.array([outcome.arrival_us for outcome in outcomes])
@@ -163,11 +234,17 @@ def build_serving_report(
         backend_utilization=tuple(backend_utilization),
         optimum_rate=optimum_rate,
         metadata=dict(metadata or {}),
+        class_reports=_class_reports(outcomes),
     )
 
 
 def format_serving_report(report: ServingReport, title: str = "RAN serving report") -> str:
-    """Render a :class:`ServingReport` as an aligned text table."""
+    """Render a :class:`ServingReport` as an aligned text table.
+
+    The per-class breakdown is only printed for genuinely multi-class runs
+    (any class other than ``default`` present), so single-class output stays
+    byte-identical to the pre-QoS format.
+    """
     lines = [
         title,
         f"{'policy':>26}  {report.policy}",
@@ -191,6 +268,19 @@ def format_serving_report(report: ServingReport, title: str = "RAN serving repor
     )
     if report.optimum_rate is not None:
         lines.append(f"{'optimum detection rate':>26}  {report.optimum_rate:.3f}")
+    if any(entry.service_class != "default" for entry in report.class_reports):
+        lines.append(f"{'per-class breakdown':>26}")
+        for entry in report.class_reports:
+            miss = (
+                f"miss={entry.deadline_miss_rate:.3f}"
+                if entry.deadline_miss_rate is not None
+                else "miss=n/a"
+            )
+            lines.append(
+                f"{entry.service_class:>26}  jobs={entry.jobs:<5d} "
+                f"p99={entry.p99_latency_us:<8.1f} {miss:<11} "
+                f"demoted={entry.demotion_rate:.3f}"
+            )
     lines.append(f"{'per-backend utilisation':>26}")
     for stats in report.backend_utilization:
         lines.append(

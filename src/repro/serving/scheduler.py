@@ -14,6 +14,15 @@ Two policies are provided:
 * **EDF** (earliest deadline first) — classic real-time scheduling, which
   minimises deadline misses when the plant is feasibly loaded.  Jobs without
   deadlines sort last.
+
+EDF is **class-aware** by default: the job's
+:class:`~repro.serving.qos.ServiceClass` priority prefixes the deadline, so
+a queued URLLC job always outranks bulk traffic, and coalescing uses the
+class-extended ``compat_key`` (protected classes never co-batch with
+degradable ones — see ``docs/qos.md``).  Pass ``class_aware=False`` (or use
+the simulator's flag) for the legacy class-blind order and shape-only
+batching; with single-default-class workloads the two modes are
+bitwise-identical, since every priority is equal and every tier matches.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ import math
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.serving.qos import DEFAULT_CLASS
 from repro.serving.workload import ServingJob
 
 __all__ = [
@@ -55,9 +65,20 @@ class FifoPolicy(SchedulingPolicy):
 
 
 class EdfPolicy(SchedulingPolicy):
-    """Earliest-deadline-first; deadline-free jobs are served last."""
+    """Earliest-deadline-first; deadline-free jobs are served last.
+
+    With ``class_aware`` (the default) the service-class priority prefixes
+    the deadline, so a lower-priority job is never served before a queued
+    higher class regardless of absolute deadlines.  Single-class workloads
+    have one priority everywhere, making the prefix a constant — the order
+    (and therefore every downstream output) is bitwise-identical to the
+    class-blind policy.
+    """
 
     name = "edf"
+
+    def __init__(self, class_aware: bool = True) -> None:
+        self.class_aware = class_aware
 
     def key(self, job: ServingJob) -> Tuple:
         # Deadline-free jobs sort last; a non-finite deadline (NaN would
@@ -69,7 +90,11 @@ class EdfPolicy(SchedulingPolicy):
         deadline = job.deadline_us
         if deadline is None or not math.isfinite(deadline):
             deadline = float("inf")
-        return (deadline, job.arrival_us, job.job_id)
+        if not self.class_aware:
+            return (deadline, job.arrival_us, job.job_id)
+        # getattr keeps duck-typed test jobs (plain namespaces) valid.
+        priority = getattr(job, "service_class", DEFAULT_CLASS).priority
+        return (priority, deadline, job.arrival_us, job.job_id)
 
 
 _POLICIES = {"fifo": FifoPolicy, "edf": EdfPolicy}
@@ -91,11 +116,19 @@ def resolve_policy(policy: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
     )
 
 
+def _batch_key(job: ServingJob, class_aware: bool) -> Tuple:
+    """The coalescing key: class-extended by default, shape-only when blind."""
+    if class_aware:
+        return job.compat_key
+    return getattr(job, "shape_key", job.compat_key)
+
+
 def select_batch(
     queue: List[ServingJob],
     policy: SchedulingPolicy,
     max_batch_size: Optional[int],
     candidates: Optional[Sequence[ServingJob]] = None,
+    class_aware: bool = True,
 ) -> List[ServingJob]:
     """Pop the policy's next job plus compatible companions from ``queue``.
 
@@ -105,13 +138,20 @@ def select_batch(
     :attr:`~repro.serving.workload.ServingJob.compat_key`, taken in policy
     order, never exceeding ``max_batch_size`` (``None`` = unbounded).
     Selected jobs are removed from ``queue``; the batch is returned.
+
+    ``class_aware=False`` coalesces on the physical
+    :attr:`~repro.serving.workload.ServingJob.shape_key` alone — the legacy
+    class-blind behaviour, which may batch protected and degradable jobs
+    together.
     """
     pool = list(queue) if candidates is None else list(candidates)
     if not pool:
         return []
     head = min(pool, key=policy.key)
+    head_key = _batch_key(head, class_aware)
     compatible = sorted(
-        (job for job in pool if job.compat_key == head.compat_key), key=policy.key
+        (job for job in pool if _batch_key(job, class_aware) == head_key),
+        key=policy.key,
     )
     limit = len(compatible) if max_batch_size is None else max_batch_size
     batch = compatible[:limit]

@@ -37,13 +37,14 @@ from repro.network.topology import NetworkTopology
 from repro.serving.autoscale import AutoscaleController, ElasticBackendPool
 from repro.serving.events import EventQueue
 from repro.serving.pool import BackendPool, Worker, build_pool
+from repro.serving.qos import DEFAULT_CLASS, ServiceClass
 from repro.serving.report import (
     BackendUtilization,
     JobOutcome,
     ServingReport,
     build_serving_report,
 )
-from repro.serving.scheduler import SchedulingPolicy, resolve_policy, select_batch
+from repro.serving.scheduler import EdfPolicy, SchedulingPolicy, resolve_policy, select_batch
 from repro.serving.workload import ServingJob
 from repro.utils.rng import BatchRandomState, ensure_rng_batch
 
@@ -54,6 +55,11 @@ _WORKER_FREE = "worker-free"
 _AUTOSCALE = "autoscale"
 _WARMUP_DONE = "warmup-done"
 _TIME_EPS = 1e-12
+
+
+def _service_class_of(job: ServingJob) -> ServiceClass:
+    """The job's service class; duck-typed jobs default to the legacy class."""
+    return getattr(job, "service_class", DEFAULT_CLASS)
 
 
 class RANServingSimulator:
@@ -93,6 +99,16 @@ class RANServingSimulator:
         are fed to the controller so a single overloaded cell can trigger
         scale-up before the *network-wide* queue looks deep.  Omitting it
         changes nothing about the simulation.
+    class_aware:
+        When true (default) scheduling honours service classes: EDF order
+        is prefixed by class priority, batches never cross the degradation
+        boundary, and admission control follows the class ladder — only
+        *demotable* pressured jobs move to the classical path, and
+        *sheddable* lower classes may be offloaded pre-emptively to relieve
+        a pressured higher class.  With a single-default-class workload all
+        of this collapses to the legacy behaviour bitwise.  ``False``
+        forces the legacy class-blind semantics even on multi-class
+        workloads (the "classless baseline" arm of the QoS study).
     """
 
     def __init__(
@@ -104,6 +120,7 @@ class RANServingSimulator:
         evaluate_solutions: bool = False,
         autoscaler: Optional[AutoscaleController] = None,
         topology: Optional[NetworkTopology] = None,
+        class_aware: bool = True,
     ) -> None:
         if max_batch_size is not None and max_batch_size <= 0:
             raise ConfigurationError(
@@ -111,6 +128,9 @@ class RANServingSimulator:
             )
         self.pool = pool if pool is not None else build_pool()
         self.policy = resolve_policy(policy)
+        self.class_aware = bool(class_aware)
+        if not self.class_aware and isinstance(self.policy, EdfPolicy):
+            self.policy = EdfPolicy(class_aware=False)
         self.max_batch_size = max_batch_size
         self.admission_control = bool(admission_control)
         self.evaluate_solutions = bool(evaluate_solutions)
@@ -178,16 +198,23 @@ class RANServingSimulator:
                 elif kind == _AUTOSCALE:
                     autoscale_tick = True
             if autoscale_tick and self.autoscaler is not None:
-                pressured = sum(1 for job in queue if self._pressured(job, now))
+                pressured_jobs = [job for job in queue if self._pressured(job, now)]
+                pressured = len(pressured_jobs)
+                step_kwargs: Dict = {}
+                if self.autoscaler.config.critical_pressure_jobs is not None:
+                    step_kwargs["critical_pressured"] = sum(
+                        1
+                        for job in pressured_jobs
+                        if _service_class_of(job).degradation_tier == 0
+                    )
                 if self.autoscaler.config.hotspot_queue_per_cell is not None:
                     depths: Dict[int, int] = {}
                     for job in queue:
                         depths[job.cell_id] = depths.get(job.cell_id, 0) + 1
-                    action = self.autoscaler.step(
-                        now, queue, self.pool, pressured, cell_queue_depths=depths
-                    )
-                else:
-                    action = self.autoscaler.step(now, queue, self.pool, pressured)
+                    step_kwargs["cell_queue_depths"] = depths
+                action = self.autoscaler.step(
+                    now, queue, self.pool, pressured, **step_kwargs
+                )
                 if tel is not None:
                     active = self.pool.active_annealer_count
                     tel.registry.gauge("repro_serving_queue_depth").set(len(queue))
@@ -224,6 +251,7 @@ class RANServingSimulator:
             "max_batch_size": self.max_batch_size,
             "admission_control": self.admission_control,
             "evaluate_solutions": self.evaluate_solutions,
+            "class_aware": self.class_aware,
             "num_annealer_workers": len(self.pool.annealer_workers),
             "num_classical_workers": len(self.pool.classical_workers),
         }
@@ -273,7 +301,12 @@ class RANServingSimulator:
             for worker in self.pool.idle_workers(now, kind="annealer"):
                 if not queue:
                     break
-                batch = select_batch(queue, self.policy, self.max_batch_size)
+                batch = select_batch(
+                    queue,
+                    self.policy,
+                    self.max_batch_size,
+                    class_aware=self.class_aware,
+                )
                 if batch:
                     self._serve(worker, batch, now, events, outcomes, child_of, demoted=False)
                     progress = True
@@ -283,18 +316,52 @@ class RANServingSimulator:
                 if has_annealers and not self.admission_control:
                     break  # fallbacks only activate through admission control
                 candidates = (
-                    [job for job in queue if self._pressured(job, now)]
-                    if has_annealers
-                    else queue
+                    self._degradation_candidates(queue, now) if has_annealers else queue
                 )
                 if not candidates:
                     continue
-                batch = select_batch(queue, self.policy, self.max_batch_size, candidates)
+                batch = select_batch(
+                    queue,
+                    self.policy,
+                    self.max_batch_size,
+                    candidates,
+                    class_aware=self.class_aware,
+                )
                 if batch:
                     self._serve(
                         worker, batch, now, events, outcomes, child_of, demoted=has_annealers
                     )
                     progress = True
+
+    def _degradation_candidates(
+        self, queue: List[ServingJob], now: float
+    ) -> List[ServingJob]:
+        """Jobs eligible for the classical fallback at ``now``.
+
+        Class-blind mode (and the single-default-class identity case, where
+        every job is demotable and none sheddable) reduces to the legacy
+        rule: every deadline-pressured job.  Class-aware mode follows the
+        degradation ladder instead — pressured jobs move only if their class
+        is *demotable*, and queued jobs of a *sheddable* class strictly below
+        the most critical pressured class may be offloaded pre-emptively to
+        free annealer capacity for it.
+        """
+        pressured = [job for job in queue if self._pressured(job, now)]
+        if not self.class_aware:
+            return pressured
+        demotable = [job for job in pressured if _service_class_of(job).demotable]
+        if not pressured:
+            return demotable
+        min_priority = min(_service_class_of(job).priority for job in pressured)
+        chosen = {job.job_id for job in demotable}
+        shed = [
+            job
+            for job in queue
+            if job.job_id not in chosen
+            and _service_class_of(job).sheddable
+            and _service_class_of(job).priority > min_priority
+        ]
+        return demotable + shed
 
     def _pressured(self, job: ServingJob, now: float) -> bool:
         """Whether waiting for an annealer already blows the deadline.
@@ -361,6 +428,7 @@ class RANServingSimulator:
                     batch_size=len(batch),
                     best_energy=best_energy,
                     detected_optimum=detected,
+                    service_class=_service_class_of(job).name,
                 )
             )
 

@@ -11,25 +11,42 @@ arrival-ordered sequence of :class:`ServingJob` objects.
 
 Cell-level load skew (traffic hotspots) is expressed through per-cell load
 factors: a factor of 2 halves the symbol period of every user in that cell.
+
+Two QoS extensions ride on top (both default off, reproducing the legacy
+workloads bitwise):
+
+* **service classes** — profiles may carry a
+  :class:`~repro.serving.qos.ServiceClass` whose per-class turnaround budget
+  overrides the profile's generic one and which travels on every
+  :class:`ServingJob` into scheduling, admission and reporting;
+* **inter-cell handover** — a :class:`HandoverModel` re-homes each user's
+  jobs along a per-user Poisson timeline of cell-boundary crossings
+  (velocity-coupled via :func:`repro.wireless.fading.handover_rate_per_us`,
+  targets drawn from the topology's neighbour graph).  Handover draws come
+  from dedicated per-user child seeds, so sweeping the velocity never
+  perturbs the traffic streams.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.network.topology import NetworkTopology
+from repro.serving.qos import DEFAULT_CLASS, ServiceClass, resolve_service_class
 from repro.serving.scenarios import NetworkScenario
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
-from repro.wireless.fading import ChannelImpairments
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs, stable_seed
+from repro.wireless.fading import ChannelImpairments, handover_rate_per_us
 from repro.wireless.mimo import MIMOConfig
 from repro.wireless.traffic import ChannelUse, TrafficGenerator
 
 __all__ = [
     "UserProfile",
     "ServingJob",
+    "HandoverModel",
     "uniform_cell_profiles",
     "generate_serving_jobs",
 ]
@@ -61,6 +78,11 @@ class UserProfile:
         simultaneously — a synchronized burst no real cell exhibits.
         :func:`uniform_cell_profiles` staggers users across one symbol
         period by default.
+    service_class:
+        The user's QoS class, or ``None`` for the legacy single-class
+        behaviour (:data:`~repro.serving.qos.DEFAULT_CLASS`).  A class with
+        its own ``turnaround_budget_us`` overrides the profile's generic
+        budget for every job the user emits.
     """
 
     user_id: int
@@ -71,6 +93,23 @@ class UserProfile:
     turnaround_budget_us: Optional[float] = 500.0
     job_mix: str = "cyclic"
     phase_offset_us: float = 0.0
+    service_class: Optional[ServiceClass] = None
+
+    @property
+    def resolved_service_class(self) -> ServiceClass:
+        """The profile's class, defaulting to the legacy single class."""
+        return self.service_class if self.service_class is not None else DEFAULT_CLASS
+
+    @property
+    def effective_budget_us(self) -> Optional[float]:
+        """The turnaround budget the user's jobs actually carry.
+
+        A service class with its own budget wins; a class without one
+        (``DEFAULT_CLASS``) defers to the profile's generic budget, which is
+        what keeps pre-QoS call sites bitwise-identical.
+        """
+        class_budget = self.resolved_service_class.turnaround_budget_us
+        return class_budget if class_budget is not None else self.turnaround_budget_us
 
     def traffic_generator(
         self,
@@ -88,7 +127,7 @@ class UserProfile:
             self.config,
             symbol_period_us=self.symbol_period_us,
             arrival_process=self.arrival_process,
-            turnaround_budget_us=self.turnaround_budget_us,
+            turnaround_budget_us=self.effective_budget_us,
             job_mix=self.job_mix,
             impairments=impairments,
             interference_scale=interference_scale,
@@ -100,13 +139,17 @@ class ServingJob:
     """One detection job as seen by the serving layer.
 
     Wraps a :class:`~repro.wireless.traffic.ChannelUse` with its origin
-    (user, cell) and a globally arrival-ordered ``job_id``.
+    (user, cell), a globally arrival-ordered ``job_id``, the user's QoS
+    class and — when handover is modelled — the cell the user started in
+    (``cell_id`` is then the cell serving the job *at arrival time*).
     """
 
     job_id: int
     user_id: int
     cell_id: int
     channel_use: ChannelUse
+    service_class: ServiceClass = DEFAULT_CLASS
+    home_cell_id: Optional[int] = None
 
     @property
     def arrival_us(self) -> float:
@@ -134,13 +177,113 @@ class ServingJob:
         return self.channel_use.modulation
 
     @property
-    def compat_key(self) -> Tuple[int, str]:
-        """Batching compatibility key: jobs may share a batch only if equal.
+    def handed_over(self) -> bool:
+        """Whether the job arrives in a different cell than the user's home."""
+        return self.home_cell_id is not None and self.cell_id != self.home_cell_id
+
+    @property
+    def shape_key(self) -> Tuple[int, str]:
+        """Physical batching key: QUBO size and modulation only.
 
         An annealer submission programs one problem shape, so a batch must
         not mix QUBO sizes (or modulations, whose decode paths differ).
+        This is the pre-QoS ``compat_key``; class-blind schedulers
+        (``class_aware=False``) still batch on it.
         """
         return (self.num_variables, self.modulation)
+
+    @property
+    def compat_key(self) -> Tuple[int, str, int]:
+        """Batching compatibility key: jobs may share a batch only if equal.
+
+        Extends :attr:`shape_key` with the service class's
+        :attr:`~repro.serving.qos.ServiceClass.degradation_tier`, so
+        protected jobs never co-batch with degradable ones — a batch is
+        demoted or shed as a unit, and a protected URLLC job must not be
+        dragged onto the classical path by its batch-mates.  Classes on the
+        *same* tier (eMBB and best-effort) still coalesce freely.
+        """
+        return (self.num_variables, self.modulation, self.service_class.degradation_tier)
+
+
+@dataclass(frozen=True)
+class HandoverModel:
+    """User mobility for inter-cell handover.
+
+    The crossing rate couples to user velocity through the same fluid-flow
+    model the fading layer uses
+    (:func:`~repro.wireless.fading.handover_rate_per_us`): fast users both
+    fade harder and hand over more.  Each user's crossing timeline is drawn
+    from a dedicated child seed (``stable_seed("handover", seed, user_id)``)
+    — *not* from the traffic root — so sweeping the velocity never shifts
+    the traffic draws, and ``velocity_mps=0`` reproduces the no-handover
+    workload bitwise.
+
+    Attributes
+    ----------
+    velocity_mps:
+        User speed; 0 disables handover entirely.
+    cell_radius_m:
+        Equivalent circular cell radius of the fluid-flow model.
+    seed:
+        Root of the per-user handover seed tree, independent of the
+        workload seed.
+    """
+
+    velocity_mps: float
+    cell_radius_m: float = 250.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Delegates range validation (velocity >= 0, radius > 0) so the
+        # model and the fading layer can never disagree on what is legal.
+        handover_rate_per_us(self.velocity_mps, self.cell_radius_m)
+
+    @property
+    def rate_per_us(self) -> float:
+        """Mean cell-boundary crossings per microsecond."""
+        return handover_rate_per_us(self.velocity_mps, self.cell_radius_m)
+
+
+def _handover_timeline(
+    profile: UserProfile,
+    handover: HandoverModel,
+    topology: NetworkTopology,
+    horizon_us: float,
+) -> Tuple[Tuple[float, ...], Tuple[int, ...]]:
+    """One user's cell-crossing timeline: event times and post-event cells.
+
+    A Poisson process at the model's crossing rate over ``[0, horizon_us]``;
+    each crossing walks to a uniformly drawn neighbour of the current cell.
+    All draws come from the user's dedicated handover child generator.
+    """
+    rate = handover.rate_per_us
+    if rate <= 0.0 or horizon_us <= 0.0:
+        return (), ()
+    child = ensure_rng(stable_seed("handover", handover.seed, profile.user_id))
+    times: List[float] = []
+    cells: List[int] = []
+    current = profile.cell_id
+    elapsed = 0.0
+    while True:
+        elapsed += float(child.exponential(1.0 / rate))
+        if elapsed > horizon_us:
+            break
+        current = topology.random_neighbor(current, child)
+        times.append(elapsed)
+        cells.append(current)
+    return tuple(times), tuple(cells)
+
+
+def _cell_at(
+    arrival_us: float,
+    home_cell_id: int,
+    times: Tuple[float, ...],
+    cells: Tuple[int, ...],
+) -> int:
+    """The cell serving a user at ``arrival_us`` given its crossing timeline."""
+    index = bisect.bisect_right(times, arrival_us) - 1
+    return cells[index] if index >= 0 else home_cell_id
 
 
 def uniform_cell_profiles(
@@ -154,6 +297,7 @@ def uniform_cell_profiles(
     job_mix: str = "cyclic",
     stagger_phases: bool = True,
     topology: Optional[NetworkTopology] = None,
+    service_classes: Optional[Sequence[Union[str, ServiceClass]]] = None,
 ) -> List[UserProfile]:
     """Lay out ``num_cells * users_per_cell`` users, cycling link configs.
 
@@ -171,6 +315,11 @@ def uniform_cell_profiles(
     validates the cell count here — pass the same topology to
     :func:`generate_serving_jobs` to make interference coupling follow its
     neighbour graph.
+
+    ``service_classes`` (names or :class:`~repro.serving.qos.ServiceClass`
+    instances) is cycled across each cell's users by their in-cell
+    position, so every cell carries the full class mix.  Omitting it keeps
+    the legacy single-class profiles.
     """
     if num_cells <= 0:
         raise ConfigurationError(f"num_cells must be positive, got {num_cells}")
@@ -193,6 +342,13 @@ def uniform_cell_profiles(
     for factor in factors:
         if factor <= 0:
             raise ConfigurationError(f"cell load factors must be positive, got {factor}")
+    if service_classes is not None and not service_classes:
+        raise ConfigurationError("service_classes must not be empty when supplied")
+    resolved_classes = (
+        tuple(resolve_service_class(entry) for entry in service_classes)
+        if service_classes is not None
+        else None
+    )
 
     profiles: List[UserProfile] = []
     user_id = 0
@@ -210,6 +366,11 @@ def uniform_cell_profiles(
                     job_mix=job_mix,
                     phase_offset_us=(
                         cell_period * position / users_per_cell if stagger_phases else 0.0
+                    ),
+                    service_class=(
+                        resolved_classes[position % len(resolved_classes)]
+                        if resolved_classes is not None
+                        else None
                     ),
                 )
             )
@@ -270,6 +431,7 @@ def generate_serving_jobs(
     impairments: Optional[ChannelImpairments] = None,
     cell_load_factors: Optional[Sequence[float]] = None,
     topology: Optional[NetworkTopology] = None,
+    handover: Optional[HandoverModel] = None,
 ) -> List[ServingJob]:
     """Draw every user's stream and merge into one arrival-ordered job list.
 
@@ -305,6 +467,15 @@ def generate_serving_jobs(
     scenario itself — see :func:`~repro.serving.scenarios.build_scenario`).
     Omitting every topology keeps the legacy fully coupled behaviour
     bitwise.
+
+    ``handover`` re-homes each user's jobs along its cell-crossing timeline
+    (see :class:`HandoverModel`): a job emitted after the user crossed into
+    a neighbouring cell carries that cell as ``cell_id`` and the user's
+    original cell as ``home_cell_id``.  Handover needs a neighbour graph —
+    either the explicit ``topology`` or the scenario's.  Handover draws use
+    their own per-user child seeds, so the traffic streams (and therefore
+    arrival times, deadlines and channel realisations) are bitwise-identical
+    with and without it.
     """
     if not profiles:
         raise ConfigurationError("profiles must not be empty")
@@ -345,6 +516,15 @@ def generate_serving_jobs(
             )
     else:
         factors = None
+    if handover is not None:
+        handover_topology = scenario.topology if scenario is not None else topology
+        if handover_topology is None:
+            raise ConfigurationError(
+                "handover needs a neighbour graph; pass topology= (or attach "
+                "one to the scenario via build_scenario(..., topology=...))"
+            )
+    else:
+        handover_topology = None
     if jobs_per_user <= 0:
         raise ConfigurationError(f"jobs_per_user must be positive, got {jobs_per_user}")
     seen_ids = set()
@@ -366,7 +546,7 @@ def generate_serving_jobs(
 
     root = ensure_rng(rng)
     children = spawn_rngs(root, len(profiles))
-    tagged: List[Tuple[float, int, int, int, ChannelUse]] = []
+    tagged: List[Tuple[float, int, int, int, ChannelUse, ServiceClass, Optional[int]]] = []
     for profile, child in zip(profiles, children):
         scale = (
             _interference_scale_for(profile, scenario, factors, topology)
@@ -377,35 +557,74 @@ def generate_serving_jobs(
             impairments=impairments, interference_scale=scale
         )
         if scenario is not None:
-            cell_id = profile.cell_id
-            stream = generator.stream_modulated(
-                horizon_us=scenario.duration_us,
-                intensity=lambda t_us, cell=cell_id: scenario.intensity(cell, t_us),
-                peak_intensity=scenario.peak_intensity(),
-                rng=child,
-                max_count=jobs_per_user,
-                start_us=profile.phase_offset_us,
-            )
-            for use in stream:
-                tagged.append(
-                    (use.arrival_time_us, profile.user_id, use.index, profile.cell_id, use)
-                )
-            continue
-        for use in generator.stream(jobs_per_user, child):
-            if profile.phase_offset_us:
-                use = dataclasses.replace(
-                    use,
-                    arrival_time_us=use.arrival_time_us + profile.phase_offset_us,
-                    deadline_us=(
-                        use.deadline_us + profile.phase_offset_us
-                        if use.deadline_us is not None
-                        else None
+            uses = list(
+                generator.stream_modulated(
+                    horizon_us=scenario.duration_us,
+                    intensity=lambda t_us, cell=profile.cell_id: scenario.intensity(
+                        cell, t_us
                     ),
+                    peak_intensity=scenario.peak_intensity(),
+                    rng=child,
+                    max_count=jobs_per_user,
+                    start_us=profile.phase_offset_us,
                 )
-            tagged.append((use.arrival_time_us, profile.user_id, use.index, profile.cell_id, use))
+            )
+        else:
+            uses = []
+            for use in generator.stream(jobs_per_user, child):
+                if profile.phase_offset_us:
+                    use = dataclasses.replace(
+                        use,
+                        arrival_time_us=use.arrival_time_us + profile.phase_offset_us,
+                        deadline_us=(
+                            use.deadline_us + profile.phase_offset_us
+                            if use.deadline_us is not None
+                            else None
+                        ),
+                    )
+                uses.append(use)
+
+        service_class = profile.resolved_service_class
+        if handover is not None and uses:
+            # Timeline draws come from the user's dedicated handover child,
+            # never from `child`, so traffic streams stay untouched.
+            horizon_us = (
+                scenario.duration_us
+                if scenario is not None
+                else max(use.arrival_time_us for use in uses)
+            )
+            times, cells = _handover_timeline(
+                profile, handover, handover_topology, horizon_us
+            )
+            home_cell: Optional[int] = profile.cell_id
+        else:
+            times, cells = (), ()
+            home_cell = profile.cell_id if handover is not None else None
+        for use in uses:
+            cell_id = _cell_at(use.arrival_time_us, profile.cell_id, times, cells)
+            tagged.append(
+                (
+                    use.arrival_time_us,
+                    profile.user_id,
+                    use.index,
+                    cell_id,
+                    use,
+                    service_class,
+                    home_cell,
+                )
+            )
 
     tagged.sort(key=lambda item: (item[0], item[1], item[2]))
     return [
-        ServingJob(job_id=job_id, user_id=user_id, cell_id=cell_id, channel_use=use)
-        for job_id, (_, user_id, _, cell_id, use) in enumerate(tagged)
+        ServingJob(
+            job_id=job_id,
+            user_id=user_id,
+            cell_id=cell_id,
+            channel_use=use,
+            service_class=service_class,
+            home_cell_id=home_cell,
+        )
+        for job_id, (_, user_id, _, cell_id, use, service_class, home_cell) in enumerate(
+            tagged
+        )
     ]

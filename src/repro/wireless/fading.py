@@ -56,6 +56,7 @@ __all__ = [
     "correlation_root",
     "estimate_channel",
     "exponential_correlation",
+    "handover_rate_per_us",
     "jakes_correlation",
     "los_matrix",
     "pilot_csi_error_variance",
@@ -200,6 +201,23 @@ def jakes_correlation(
     require_positive(block_period_us, "block_period_us")
     doppler_hz = velocity_mps * carrier_frequency_ghz * 1e9 / SPEED_OF_LIGHT_MPS
     return bessel_j0(2.0 * math.pi * doppler_hz * block_period_us * 1e-6)
+
+
+def handover_rate_per_us(velocity_mps: float, cell_radius_m: float = 250.0) -> float:
+    """Mean cell-boundary crossings per microsecond of a mobile user.
+
+    The classic fluid-flow mobility model: a user moving at ``velocity_mps``
+    with uniformly distributed direction inside a circular cell of radius
+    ``R`` crosses the boundary at rate ``2 v / (pi R)`` per second (crossing
+    rate = v * perimeter / (pi * area)).  This couples handover frequency to
+    the *same* velocity that drives the Jakes Doppler spectrum — a fast user
+    both fades harder (:func:`jakes_correlation`) and hands over more.  Zero
+    velocity gives a static user that never hands over.
+    """
+    if velocity_mps < 0:
+        raise ConfigurationError(f"velocity_mps must be non-negative, got {velocity_mps}")
+    require_positive(cell_radius_m, "cell_radius_m")
+    return 2.0 * velocity_mps / (math.pi * cell_radius_m) * 1e-6
 
 
 # --------------------------------------------------------------------- #

@@ -418,7 +418,8 @@ class TestPolicies:
         free_job = types.SimpleNamespace(deadline_us=None, arrival_us=1.0, job_id=1)
         # A NaN deadline would poison tuple comparison (every comparison is
         # false), making min()/sorted() order-dependent; it sorts last instead.
-        assert policy.key(nan_job)[0] == float("inf")
+        # Key layout is (priority, deadline, arrival, job_id).
+        assert policy.key(nan_job)[1] == float("inf")
         assert policy.key(nan_job) < policy.key(free_job)
 
     def test_edf_select_batch_invariant_under_permutation(self, rng):
